@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation study over the completion's design choices (DESIGN.md):
+/// which of the A-F-L ingredients buys how much memory? Configurations:
+///
+///   full        alloc late + free early + free_app (the paper's system)
+///   no-freeapp  drop the free_app choice point (§1)
+///   lex-alloc   allocation only at the letregion (alloc still explicit)
+///   lex-free    deallocation only at the letregion
+///   lexical     both lexical = the Tofte/Talpin discipline
+///
+/// Reported: max storable values held for each corpus program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTContext.h"
+#include "completion/AflCompletion.h"
+#include "completion/Conservative.h"
+#include "interp/Interp.h"
+#include "parser/Parser.h"
+#include "programs/Corpus.h"
+#include "regions/RegionInference.h"
+#include "types/TypeInference.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace afl;
+
+namespace {
+
+struct Config {
+  const char *Name;
+  constraints::GenOptions Options;
+};
+
+uint64_t maxValuesUnder(const regions::RegionProgram &Prog,
+                        const constraints::GenOptions &Options,
+                        const char *Name, const char *Program) {
+  completion::AflStats Stats;
+  regions::Completion C = completion::aflCompletion(Prog, &Stats, Options);
+  if (!Stats.Solved) {
+    std::fprintf(stderr, "%s/%s: solver fell back to conservative\n",
+                 Program, Name);
+  }
+  interp::RunResult R = interp::run(Prog, C);
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s/%s: run failed: %s\n", Program, Name,
+                 R.Error.c_str());
+    std::exit(1);
+  }
+  return R.S.MaxValues;
+}
+
+} // namespace
+
+int main() {
+  Config Configs[5];
+  Configs[0] = {"full", {}};
+  Configs[1] = {"no-freeapp", {}};
+  Configs[1].Options.FreeApp = false;
+  Configs[2] = {"lex-alloc", {}};
+  Configs[2].Options.LateAlloc = false;
+  Configs[3] = {"lex-free", {}};
+  Configs[3].Options.EarlyFree = false;
+  Configs[3].Options.FreeApp = false;
+  Configs[4] = {"lexical", {}};
+  Configs[4].Options.LateAlloc = false;
+  Configs[4].Options.EarlyFree = false;
+  Configs[4].Options.FreeApp = false;
+
+  std::printf("ablation — max storable values held\n");
+  std::printf("%-16s", "program");
+  for (const Config &C : Configs)
+    std::printf(" %11s", C.Name);
+  std::printf(" %11s\n", "T-T");
+
+  for (const programs::BenchProgram &P : programs::smallCorpus()) {
+    ast::ASTContext Ctx;
+    DiagnosticEngine Diags;
+    const ast::Expr *E = parseExpr(P.Source, Ctx, Diags);
+    types::TypedProgram T = types::inferTypes(E, Ctx, Diags);
+    auto Prog = regions::inferRegions(E, Ctx, T, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "%s: inference failed\n", P.Name.c_str());
+      return 1;
+    }
+
+    std::printf("%-16s", P.Name.c_str());
+    for (const Config &C : Configs)
+      std::printf(" %11llu",
+                  (unsigned long long)maxValuesUnder(*Prog, C.Options,
+                                                     C.Name,
+                                                     P.Name.c_str()));
+    regions::Completion Cons = completion::conservativeCompletion(*Prog);
+    interp::RunResult R = interp::run(*Prog, Cons);
+    std::printf(" %11llu\n", (unsigned long long)R.S.MaxValues);
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backs the paper's §6/§7 performance claims with google-benchmark
+/// microbenchmarks: "all of the examples we have tried are analyzed in a
+/// matter of seconds"; closure analysis is worst-case exponential but
+/// comparable to T-T in practice; constraint generation and solving run
+/// in low-order polynomial time. Measures each phase separately on
+/// programs of increasing size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTContext.h"
+#include "closure/ClosureAnalysis.h"
+#include "completion/AflCompletion.h"
+#include "constraints/ConstraintGen.h"
+#include "parser/Parser.h"
+#include "programs/Corpus.h"
+#include "regions/RegionInference.h"
+#include "solver/Solver.h"
+#include "types/TypeInference.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace afl;
+
+namespace {
+
+/// A synthetic program with ~K recursive functions and a nested-let
+/// spine, used to scale analysis input size.
+std::string chainProgram(int K) {
+  std::string Src;
+  for (int I = 0; I != K; ++I) {
+    std::string F = "f" + std::to_string(I);
+    std::string N = "n" + std::to_string(I);
+    Src += "letrec " + F + " " + N + " = if " + N + " <= 0 then 0 else " +
+           N + " + " + F + " (" + N + " - 1) in ";
+  }
+  Src += "let acc = 0 in ";
+  for (int I = 0; I != K; ++I)
+    Src += "let acc = acc + f" + std::to_string(I) + " 3 in ";
+  Src += "acc";
+  for (int I = 0; I != K + 1; ++I)
+    Src += " end";
+  for (int I = 0; I != K; ++I)
+    Src += " end";
+  return Src;
+}
+
+struct Front {
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *Ast = nullptr;
+  types::TypedProgram Typed;
+};
+
+std::unique_ptr<Front> frontend(const std::string &Source) {
+  auto F = std::make_unique<Front>();
+  F->Ast = parseExprOrDie(Source, F->Ctx);
+  F->Typed = types::inferTypes(F->Ast, F->Ctx, F->Diags);
+  assert(F->Typed.Success);
+  return F;
+}
+
+void BM_ParseAndTypecheck(benchmark::State &State) {
+  std::string Src = chainProgram(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    ast::ASTContext Ctx;
+    DiagnosticEngine Diags;
+    const ast::Expr *E = parseExpr(Src, Ctx, Diags);
+    types::TypedProgram T = types::inferTypes(E, Ctx, Diags);
+    benchmark::DoNotOptimize(T.Success);
+  }
+}
+BENCHMARK(BM_ParseAndTypecheck)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RegionInference(benchmark::State &State) {
+  std::string Src = chainProgram(static_cast<int>(State.range(0)));
+  auto F = frontend(Src);
+  for (auto _ : State) {
+    auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+    benchmark::DoNotOptimize(Prog.get());
+  }
+}
+BENCHMARK(BM_RegionInference)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ClosureAnalysis(benchmark::State &State) {
+  std::string Src = chainProgram(static_cast<int>(State.range(0)));
+  auto F = frontend(Src);
+  auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+  size_t Contexts = 0;
+  for (auto _ : State) {
+    closure::ClosureAnalysis CA(*Prog);
+    benchmark::DoNotOptimize(CA.run());
+    Contexts = CA.numContexts();
+  }
+  // §7: worst-case exponential, "comparable to T-T in practice" — the
+  // context count is the growth driver; report it alongside the time.
+  State.counters["contexts"] = static_cast<double>(Contexts);
+}
+BENCHMARK(BM_ClosureAnalysis)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// Nested higher-order functions: each level passes a lambda downward,
+/// multiplying the (expression, environment) contexts — the shape behind
+/// the worst-case exponential bound of §7.
+std::string nestedHofProgram(int K) {
+  std::string Src = "let apply1 = fn f => f 1 in ";
+  for (int I = 0; I != K; ++I)
+    Src += "let h" + std::to_string(I) + " = fn x => apply1 (fn y => y + x) "
+           "in ";
+  std::string Sum = "0";
+  for (int I = 0; I != K; ++I)
+    Sum = "(" + Sum + " + h" + std::to_string(I) + " " + std::to_string(I) +
+          ")";
+  Src += Sum;
+  for (int I = 0; I != K + 1; ++I)
+    Src += " end";
+  return Src;
+}
+
+void BM_ClosureAnalysis_NestedHOF(benchmark::State &State) {
+  std::string Src = nestedHofProgram(static_cast<int>(State.range(0)));
+  auto F = frontend(Src);
+  auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+  size_t Contexts = 0;
+  for (auto _ : State) {
+    closure::ClosureAnalysis CA(*Prog);
+    benchmark::DoNotOptimize(CA.run());
+    Contexts = CA.numContexts();
+  }
+  State.counters["contexts"] = static_cast<double>(Contexts);
+}
+BENCHMARK(BM_ClosureAnalysis_NestedHOF)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ConstraintGenAndSolve(benchmark::State &State) {
+  std::string Src = chainProgram(static_cast<int>(State.range(0)));
+  auto F = frontend(Src);
+  auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+  closure::ClosureAnalysis CA(*Prog);
+  CA.run();
+  for (auto _ : State) {
+    constraints::GenResult Gen =
+        constraints::generateConstraints(*Prog, CA);
+    solver::SolveResult Sol = solver::solve(Gen.Sys);
+    benchmark::DoNotOptimize(Sol.Sat);
+  }
+}
+BENCHMARK(BM_ConstraintGenAndSolve)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FullAnalysis_Corpus(benchmark::State &State) {
+  auto Corpus = programs::table2Corpus();
+  const programs::BenchProgram &P =
+      Corpus[static_cast<size_t>(State.range(0))];
+  State.SetLabel(P.Name);
+  auto F = frontend(P.Source);
+  for (auto _ : State) {
+    auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+    completion::AflStats Stats;
+    regions::Completion C = completion::aflCompletion(*Prog, &Stats);
+    benchmark::DoNotOptimize(C.numOps());
+  }
+}
+BENCHMARK(BM_FullAnalysis_Corpus)->DenseRange(0, 4);
+
+} // namespace
+
+BENCHMARK_MAIN();

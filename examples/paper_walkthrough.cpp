@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// paper_walkthrough: a guided tour of the whole system following the
+/// paper's own structure. Runs each analysis phase on the running
+/// examples and narrates what happens — useful as a first read of the
+/// codebase and as a living summary of the reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "closure/ClosureAnalysis.h"
+#include "completion/Report.h"
+#include "constraints/ConstraintPrinter.h"
+#include "driver/Pipeline.h"
+#include "interp/TraceAnalysis.h"
+#include "programs/Corpus.h"
+
+#include <cstdio>
+
+using namespace afl;
+
+namespace {
+
+void section(const char *Title) {
+  std::printf("\n============================================================"
+              "========\n%s\n============================================="
+              "=======================\n",
+              Title);
+}
+
+} // namespace
+
+int main() {
+  section("§1  The example: (let z = (2,3) in fn y => (fst z, y) end) 5");
+  driver::PipelineOptions TraceOpts;
+  TraceOpts.RecordTrace = true;
+  driver::PipelineResult Ex =
+      driver::runPipeline(programs::example11Source(), TraceOpts);
+  if (!Ex.ok()) {
+    std::fprintf(stderr, "pipeline failed:\n%s\n", Ex.Diags.str().c_str());
+    return 1;
+  }
+  std::printf("Region inference produced the Tofte/Talpin annotation; the\n"
+              "conservative completion allocates each region at its "
+              "letregion\nand frees it at scope exit (Fig. 1a):\n\n%s\n",
+              Ex.printConservative().c_str());
+
+  section("§3  Extended closure analysis");
+  {
+    closure::ClosureAnalysis CA(*Ex.Prog);
+    unsigned Passes = CA.run();
+    std::printf("The analysis computes, per (expression, abstract region\n"
+                "environment) pair, the closures the expression may become.\n"
+                "Here: %zu abstract closures over %zu contexts, stable "
+                "after %u pass(es).\n",
+                CA.numClosures(), CA.numContexts(), Passes);
+    constraints::GenResult Gen =
+        constraints::generateConstraints(*Ex.Prog, CA);
+    section("§4  The constraint system");
+    std::printf("%s\n", constraints::summarize(Gen).c_str());
+  }
+
+  section("§4.3  The solved completion (Fig. 1b — optimal here)");
+  std::printf("%s\n", Ex.printAfl().c_str());
+  std::printf("Note free_app on the closure's region, the immediate free "
+              "of the\ndead 3, and the pair region allocated only inside "
+              "the pair.\n");
+
+  section("§7  Programmer feedback");
+  std::printf("%s\n",
+              completion::reportCompletion(*Ex.Prog, Ex.AflC).str().c_str());
+
+  section("§6  Memory behavior (Example 1.1)");
+  interp::TraceSummary TT = interp::summarizeTrace(Ex.Conservative.Trace);
+  interp::TraceSummary AFL = interp::summarizeTrace(Ex.Afl.Trace);
+  std::printf("T-T:   peak %llu values, space-time %llu\n",
+              (unsigned long long)TT.Peak,
+              (unsigned long long)TT.SpaceTime);
+  std::printf("A-F-L: peak %llu values, space-time %llu\n",
+              (unsigned long long)AFL.Peak,
+              (unsigned long long)AFL.SpaceTime);
+
+  section("§6  The headline: the Appel example");
+  std::printf("%6s %12s %12s\n", "n", "T-T peak", "A-F-L peak");
+  for (int N : {10, 20, 40, 80}) {
+    driver::PipelineResult R =
+        driver::runPipeline(programs::appelSource(N));
+    if (!R.ok())
+      return 1;
+    std::printf("%6d %12llu %12llu\n", N,
+                (unsigned long long)R.Conservative.S.MaxValues,
+                (unsigned long long)R.Afl.S.MaxValues);
+  }
+  std::printf("\nQuadratic vs linear — \"in some cases the improvement in "
+              "memory\nusage is asymptotic\" (§1). Every region operation "
+              "was checked\ndynamically while producing these numbers "
+              "(Theorem 5.1).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns surface AST storage (arena + identifier interner) and provides
+/// factory methods for every node kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_AST_ASTCONTEXT_H
+#define AFL_AST_ASTCONTEXT_H
+
+#include "ast/Expr.h"
+#include "support/Arena.h"
+#include "support/StringInterner.h"
+
+#include <string_view>
+
+namespace afl {
+namespace ast {
+
+/// Allocation context for surface ASTs. All nodes created through a context
+/// stay valid for the lifetime of the context.
+class ASTContext {
+public:
+  ASTContext() = default;
+  ASTContext(const ASTContext &) = delete;
+  ASTContext &operator=(const ASTContext &) = delete;
+
+  StringInterner &interner() { return Interner; }
+  const StringInterner &interner() const { return Interner; }
+
+  Symbol intern(std::string_view Name) { return Interner.intern(Name); }
+  const std::string &text(Symbol S) const { return Interner.text(S); }
+
+  /// Number of nodes created so far; node ids are in [0, numNodes()).
+  uint32_t numNodes() const { return NextId; }
+
+  const IntLitExpr *intLit(int64_t Value, SourceLoc Loc = SourceLoc()) {
+    return Mem.create<IntLitExpr>(Loc, NextId++, Value);
+  }
+  const BoolLitExpr *boolLit(bool Value, SourceLoc Loc = SourceLoc()) {
+    return Mem.create<BoolLitExpr>(Loc, NextId++, Value);
+  }
+  const UnitLitExpr *unitLit(SourceLoc Loc = SourceLoc()) {
+    return Mem.create<UnitLitExpr>(Loc, NextId++);
+  }
+  const VarExpr *var(Symbol Name, SourceLoc Loc = SourceLoc()) {
+    return Mem.create<VarExpr>(Loc, NextId++, Name);
+  }
+  const VarExpr *var(std::string_view Name, SourceLoc Loc = SourceLoc()) {
+    return var(intern(Name), Loc);
+  }
+  const LambdaExpr *lambda(Symbol Param, const Expr *Body,
+                           SourceLoc Loc = SourceLoc()) {
+    return Mem.create<LambdaExpr>(Loc, NextId++, Param, Body);
+  }
+  const LambdaExpr *lambda(std::string_view Param, const Expr *Body,
+                           SourceLoc Loc = SourceLoc()) {
+    return lambda(intern(Param), Body, Loc);
+  }
+  const AppExpr *app(const Expr *Fn, const Expr *Arg,
+                     SourceLoc Loc = SourceLoc()) {
+    return Mem.create<AppExpr>(Loc, NextId++, Fn, Arg);
+  }
+  const LetExpr *let(Symbol Name, const Expr *Init, const Expr *Body,
+                     SourceLoc Loc = SourceLoc()) {
+    return Mem.create<LetExpr>(Loc, NextId++, Name, Init, Body);
+  }
+  const LetExpr *let(std::string_view Name, const Expr *Init, const Expr *Body,
+                     SourceLoc Loc = SourceLoc()) {
+    return let(intern(Name), Init, Body, Loc);
+  }
+  const LetrecExpr *letrec(Symbol FnName, Symbol Param, const Expr *FnBody,
+                           const Expr *Body, SourceLoc Loc = SourceLoc()) {
+    return Mem.create<LetrecExpr>(Loc, NextId++, FnName, Param, FnBody, Body);
+  }
+  const LetrecExpr *letrec(std::string_view FnName, std::string_view Param,
+                           const Expr *FnBody, const Expr *Body,
+                           SourceLoc Loc = SourceLoc()) {
+    return letrec(intern(FnName), intern(Param), FnBody, Body, Loc);
+  }
+  const IfExpr *ifExpr(const Expr *Cond, const Expr *Then, const Expr *Else,
+                       SourceLoc Loc = SourceLoc()) {
+    return Mem.create<IfExpr>(Loc, NextId++, Cond, Then, Else);
+  }
+  const PairExpr *pair(const Expr *First, const Expr *Second,
+                       SourceLoc Loc = SourceLoc()) {
+    return Mem.create<PairExpr>(Loc, NextId++, First, Second);
+  }
+  const NilExpr *nil(SourceLoc Loc = SourceLoc()) {
+    return Mem.create<NilExpr>(Loc, NextId++);
+  }
+  const ConsExpr *cons(const Expr *Head, const Expr *Tail,
+                       SourceLoc Loc = SourceLoc()) {
+    return Mem.create<ConsExpr>(Loc, NextId++, Head, Tail);
+  }
+  const UnOpExpr *unOp(UnOpKind Op, const Expr *Operand,
+                       SourceLoc Loc = SourceLoc()) {
+    return Mem.create<UnOpExpr>(Loc, NextId++, Op, Operand);
+  }
+  const BinOpExpr *binOp(BinOpKind Op, const Expr *Lhs, const Expr *Rhs,
+                         SourceLoc Loc = SourceLoc()) {
+    return Mem.create<BinOpExpr>(Loc, NextId++, Op, Lhs, Rhs);
+  }
+
+private:
+  Arena Mem;
+  StringInterner Interner;
+  uint32_t NextId = 0;
+};
+
+} // namespace ast
+} // namespace afl
+
+#endif // AFL_AST_ASTCONTEXT_H

@@ -1,0 +1,307 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Surface-language AST: a typed call-by-value lambda calculus with
+/// integers, booleans, pairs, and lists — the "applicative subset of ML"
+/// used as the source language in Aiken/Fähndrich/Levien (PLDI'95) §2,
+/// extended (as in their implementation, §6) with numbers, pairs, lists,
+/// and conditionals.
+///
+/// Nodes are immutable and arena-allocated by \c ASTContext. Each node
+/// carries a context-unique id so analyses can key side tables by node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_AST_EXPR_H
+#define AFL_AST_EXPR_H
+
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace afl {
+namespace ast {
+
+/// Unary operators. Fst/Snd project pairs; Null/Hd/Tl inspect lists.
+enum class UnOpKind { Fst, Snd, Null, Hd, Tl };
+
+/// Binary operators. All operate on integers; comparisons produce bools.
+enum class BinOpKind { Add, Sub, Mul, Div, Mod, Lt, Le, Eq };
+
+/// Returns the surface spelling of \p Op (e.g., "fst").
+const char *spelling(UnOpKind Op);
+/// Returns the surface spelling of \p Op (e.g., "+").
+const char *spelling(BinOpKind Op);
+
+/// Base class of all surface expressions.
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    BoolLit,
+    UnitLit,
+    Var,
+    Lambda,
+    App,
+    Let,
+    Letrec,
+    If,
+    Pair,
+    Nil,
+    Cons,
+    UnOp,
+    BinOp,
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Context-unique node id, densely numbered from 0; analyses may index
+  /// vectors by it.
+  uint32_t id() const { return Id; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc, uint32_t Id) : K(K), Loc(Loc), Id(Id) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+  uint32_t Id;
+};
+
+/// Integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLoc Loc, uint32_t Id, int64_t Value)
+      : Expr(Kind::IntLit, Loc, Id), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// Boolean literal.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(SourceLoc Loc, uint32_t Id, bool Value)
+      : Expr(Kind::BoolLit, Loc, Id), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+/// The unit literal "()".
+class UnitLitExpr : public Expr {
+public:
+  UnitLitExpr(SourceLoc Loc, uint32_t Id) : Expr(Kind::UnitLit, Loc, Id) {}
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::UnitLit; }
+};
+
+/// Variable reference.
+class VarExpr : public Expr {
+public:
+  VarExpr(SourceLoc Loc, uint32_t Id, Symbol Name)
+      : Expr(Kind::Var, Loc, Id), Name(Name) {}
+
+  Symbol name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Var; }
+
+private:
+  Symbol Name;
+};
+
+/// Function abstraction "fn x => e".
+class LambdaExpr : public Expr {
+public:
+  LambdaExpr(SourceLoc Loc, uint32_t Id, Symbol Param, const Expr *Body)
+      : Expr(Kind::Lambda, Loc, Id), Param(Param), Body(Body) {}
+
+  Symbol param() const { return Param; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Lambda; }
+
+private:
+  Symbol Param;
+  const Expr *Body;
+};
+
+/// Application "e1 e2".
+class AppExpr : public Expr {
+public:
+  AppExpr(SourceLoc Loc, uint32_t Id, const Expr *Fn, const Expr *Arg)
+      : Expr(Kind::App, Loc, Id), Fn(Fn), Arg(Arg) {}
+
+  const Expr *fn() const { return Fn; }
+  const Expr *arg() const { return Arg; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::App; }
+
+private:
+  const Expr *Fn;
+  const Expr *Arg;
+};
+
+/// "let x = e1 in e2 end".
+class LetExpr : public Expr {
+public:
+  LetExpr(SourceLoc Loc, uint32_t Id, Symbol Name, const Expr *Init,
+          const Expr *Body)
+      : Expr(Kind::Let, Loc, Id), Name(Name), Init(Init), Body(Body) {}
+
+  Symbol name() const { return Name; }
+  const Expr *init() const { return Init; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Let; }
+
+private:
+  Symbol Name;
+  const Expr *Init;
+  const Expr *Body;
+};
+
+/// "letrec f x = e1 in e2 end" — a single recursive function binding.
+/// Region inference turns f into a region-polymorphic function.
+class LetrecExpr : public Expr {
+public:
+  LetrecExpr(SourceLoc Loc, uint32_t Id, Symbol FnName, Symbol Param,
+             const Expr *FnBody, const Expr *Body)
+      : Expr(Kind::Letrec, Loc, Id), FnName(FnName), Param(Param),
+        FnBody(FnBody), Body(Body) {}
+
+  Symbol fnName() const { return FnName; }
+  Symbol param() const { return Param; }
+  const Expr *fnBody() const { return FnBody; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Letrec; }
+
+private:
+  Symbol FnName;
+  Symbol Param;
+  const Expr *FnBody;
+  const Expr *Body;
+};
+
+/// "if e1 then e2 else e3".
+class IfExpr : public Expr {
+public:
+  IfExpr(SourceLoc Loc, uint32_t Id, const Expr *Cond, const Expr *Then,
+         const Expr *Else)
+      : Expr(Kind::If, Loc, Id), Cond(Cond), Then(Then), Else(Else) {}
+
+  const Expr *cond() const { return Cond; }
+  const Expr *thenExpr() const { return Then; }
+  const Expr *elseExpr() const { return Else; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::If; }
+
+private:
+  const Expr *Cond;
+  const Expr *Then;
+  const Expr *Else;
+};
+
+/// Pair construction "(e1, e2)".
+class PairExpr : public Expr {
+public:
+  PairExpr(SourceLoc Loc, uint32_t Id, const Expr *First, const Expr *Second)
+      : Expr(Kind::Pair, Loc, Id), First(First), Second(Second) {}
+
+  const Expr *first() const { return First; }
+  const Expr *second() const { return Second; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Pair; }
+
+private:
+  const Expr *First;
+  const Expr *Second;
+};
+
+/// The empty list "nil".
+class NilExpr : public Expr {
+public:
+  NilExpr(SourceLoc Loc, uint32_t Id) : Expr(Kind::Nil, Loc, Id) {}
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Nil; }
+};
+
+/// List cell construction "e1 :: e2".
+class ConsExpr : public Expr {
+public:
+  ConsExpr(SourceLoc Loc, uint32_t Id, const Expr *Head, const Expr *Tail)
+      : Expr(Kind::Cons, Loc, Id), Head(Head), Tail(Tail) {}
+
+  const Expr *head() const { return Head; }
+  const Expr *tail() const { return Tail; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cons; }
+
+private:
+  const Expr *Head;
+  const Expr *Tail;
+};
+
+/// Unary operator application, e.g. "fst e" or "null e".
+class UnOpExpr : public Expr {
+public:
+  UnOpExpr(SourceLoc Loc, uint32_t Id, UnOpKind Op, const Expr *Operand)
+      : Expr(Kind::UnOp, Loc, Id), Op(Op), Operand(Operand) {}
+
+  UnOpKind op() const { return Op; }
+  const Expr *operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::UnOp; }
+
+private:
+  UnOpKind Op;
+  const Expr *Operand;
+};
+
+/// Binary operator application, e.g. "e1 + e2".
+class BinOpExpr : public Expr {
+public:
+  BinOpExpr(SourceLoc Loc, uint32_t Id, BinOpKind Op, const Expr *Lhs,
+            const Expr *Rhs)
+      : Expr(Kind::BinOp, Loc, Id), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+
+  BinOpKind op() const { return Op; }
+  const Expr *lhs() const { return Lhs; }
+  const Expr *rhs() const { return Rhs; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::BinOp; }
+
+private:
+  BinOpKind Op;
+  const Expr *Lhs;
+  const Expr *Rhs;
+};
+
+/// LLVM-style checked casts over the Expr hierarchy.
+template <typename T> bool isa(const Expr *E) { return T::classof(E); }
+
+template <typename T> const T *cast(const Expr *E) {
+  assert(isa<T>(E) && "cast to wrong Expr kind");
+  return static_cast<const T *>(E);
+}
+
+template <typename T> const T *dyn_cast(const Expr *E) {
+  return isa<T>(E) ? static_cast<const T *>(E) : nullptr;
+}
+
+} // namespace ast
+} // namespace afl
+
+#endif // AFL_AST_EXPR_H

@@ -1,0 +1,201 @@
+#include "ast/ExprPrinter.h"
+
+#include "ast/Expr.h"
+#include "support/StringInterner.h"
+
+using namespace afl;
+using namespace afl::ast;
+
+const char *ast::spelling(UnOpKind Op) {
+  switch (Op) {
+  case UnOpKind::Fst:
+    return "fst";
+  case UnOpKind::Snd:
+    return "snd";
+  case UnOpKind::Null:
+    return "null";
+  case UnOpKind::Hd:
+    return "hd";
+  case UnOpKind::Tl:
+    return "tl";
+  }
+  return "?";
+}
+
+const char *ast::spelling(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "div";
+  case BinOpKind::Mod:
+    return "mod";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Eq:
+    return "=";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive printer. Parenthesizes conservatively: every compound
+/// subexpression in an operator/application position gets parentheses,
+/// which keeps the grammar trivially unambiguous for round-tripping.
+class Printer {
+public:
+  explicit Printer(const StringInterner &Interner) : Interner(Interner) {}
+
+  std::string Out;
+
+  void print(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit: {
+      int64_t V = cast<IntLitExpr>(E)->value();
+      if (V < 0) {
+        // Negative literals need parens so "f -1" does not parse as
+        // subtraction.
+        Out += '(';
+        Out += std::to_string(V);
+        Out += ')';
+      } else {
+        Out += std::to_string(V);
+      }
+      return;
+    }
+    case Expr::Kind::BoolLit:
+      Out += cast<BoolLitExpr>(E)->value() ? "true" : "false";
+      return;
+    case Expr::Kind::UnitLit:
+      Out += "()";
+      return;
+    case Expr::Kind::Var:
+      Out += Interner.text(cast<VarExpr>(E)->name());
+      return;
+    case Expr::Kind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      Out += "fn ";
+      Out += Interner.text(L->param());
+      Out += " => ";
+      print(L->body());
+      return;
+    }
+    case Expr::Kind::App: {
+      const auto *A = cast<AppExpr>(E);
+      printAtom(A->fn());
+      Out += ' ';
+      printAtom(A->arg());
+      return;
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      Out += "let ";
+      Out += Interner.text(L->name());
+      Out += " = ";
+      print(L->init());
+      Out += " in ";
+      print(L->body());
+      Out += " end";
+      return;
+    }
+    case Expr::Kind::Letrec: {
+      const auto *L = cast<LetrecExpr>(E);
+      Out += "letrec ";
+      Out += Interner.text(L->fnName());
+      Out += ' ';
+      Out += Interner.text(L->param());
+      Out += " = ";
+      print(L->fnBody());
+      Out += " in ";
+      print(L->body());
+      Out += " end";
+      return;
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      Out += "if ";
+      print(I->cond());
+      Out += " then ";
+      print(I->thenExpr());
+      Out += " else ";
+      print(I->elseExpr());
+      return;
+    }
+    case Expr::Kind::Pair: {
+      const auto *P = cast<PairExpr>(E);
+      Out += '(';
+      print(P->first());
+      Out += ", ";
+      print(P->second());
+      Out += ')';
+      return;
+    }
+    case Expr::Kind::Nil:
+      Out += "nil";
+      return;
+    case Expr::Kind::Cons: {
+      const auto *C = cast<ConsExpr>(E);
+      printAtom(C->head());
+      Out += " :: ";
+      printAtom(C->tail());
+      return;
+    }
+    case Expr::Kind::UnOp: {
+      const auto *U = cast<UnOpExpr>(E);
+      Out += spelling(U->op());
+      Out += ' ';
+      printAtom(U->operand());
+      return;
+    }
+    case Expr::Kind::BinOp: {
+      const auto *B = cast<BinOpExpr>(E);
+      printAtom(B->lhs());
+      Out += ' ';
+      Out += spelling(B->op());
+      Out += ' ';
+      printAtom(B->rhs());
+      return;
+    }
+    }
+  }
+
+private:
+  /// Prints \p E, parenthesized unless it is syntactically atomic.
+  void printAtom(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      if (cast<IntLitExpr>(E)->value() < 0)
+        break;
+      [[fallthrough]];
+    case Expr::Kind::BoolLit:
+    case Expr::Kind::UnitLit:
+    case Expr::Kind::Var:
+    case Expr::Kind::Nil:
+    case Expr::Kind::Pair:
+      print(E);
+      return;
+    default:
+      break;
+    }
+    Out += '(';
+    print(E);
+    Out += ')';
+  }
+
+  const StringInterner &Interner;
+};
+
+} // namespace
+
+std::string ast::printExpr(const Expr *E, const StringInterner &Interner) {
+  Printer P(Interner);
+  P.print(E);
+  return P.Out;
+}

@@ -1,0 +1,25 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printer for the surface AST, producing re-parseable ML-like text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_AST_EXPRPRINTER_H
+#define AFL_AST_EXPRPRINTER_H
+
+#include <string>
+
+namespace afl {
+class StringInterner;
+namespace ast {
+class Expr;
+
+/// Renders \p E using \p Interner to resolve identifier names. The output
+/// round-trips through the parser.
+std::string printExpr(const Expr *E, const StringInterner &Interner);
+
+} // namespace ast
+} // namespace afl
+
+#endif // AFL_AST_EXPRPRINTER_H

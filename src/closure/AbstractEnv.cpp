@@ -1,0 +1,85 @@
+#include "closure/AbstractEnv.h"
+
+#include <algorithm>
+
+using namespace afl;
+using namespace afl::closure;
+using regions::RegionVarId;
+
+RegEnvId RegEnvTable::intern(RegEnvMap Map) {
+  assert(std::is_sorted(Map.begin(), Map.end(),
+                        [](const auto &A, const auto &B) {
+                          return A.first < B.first;
+                        }) &&
+         "abstract region environments must be sorted");
+  auto It = Index.find(Map);
+  if (It != Index.end())
+    return It->second;
+  RegEnvId Id = static_cast<RegEnvId>(Envs.size());
+  Envs.push_back(Map);
+  Index.emplace(std::move(Map), Id);
+  return Id;
+}
+
+Color RegEnvTable::colorOf(RegEnvId Id, RegionVarId Var) const {
+  const RegEnvMap &E = Envs[Id];
+  auto It = std::lower_bound(
+      E.begin(), E.end(), Var,
+      [](const auto &Entry, RegionVarId V) { return Entry.first < V; });
+  assert(It != E.end() && It->first == Var &&
+         "region variable not in abstract environment");
+  return It->second;
+}
+
+bool RegEnvTable::maps(RegEnvId Id, RegionVarId Var) const {
+  const RegEnvMap &E = Envs[Id];
+  auto It = std::lower_bound(
+      E.begin(), E.end(), Var,
+      [](const auto &Entry, RegionVarId V) { return Entry.first < V; });
+  return It != E.end() && It->first == Var;
+}
+
+std::set<Color>
+RegEnvTable::colorsOf(RegEnvId Id,
+                      const std::set<RegionVarId> &Vars) const {
+  std::set<Color> Out;
+  for (RegionVarId V : Vars)
+    Out.insert(colorOf(Id, V));
+  return Out;
+}
+
+RegEnvId RegEnvTable::restrict(RegEnvId Id,
+                               const std::set<RegionVarId> &Keep) {
+  RegEnvMap Out;
+  for (const auto &[Var, C] : Envs[Id])
+    if (Keep.count(Var))
+      Out.push_back({Var, C});
+  assert(Out.size() == Keep.size() &&
+         "restriction set contains unmapped region variables");
+  return intern(std::move(Out));
+}
+
+RegEnvId RegEnvTable::extendFresh(RegEnvId Id, RegionVarId Var) {
+  const RegEnvMap &E = Envs[Id];
+  std::set<Color> Used;
+  for (const auto &[V, C] : E)
+    Used.insert(C);
+  Color Fresh = 0;
+  while (Used.count(Fresh))
+    ++Fresh;
+  return extend(Id, Var, Fresh);
+}
+
+RegEnvId RegEnvTable::extend(RegEnvId Id, RegionVarId Var, Color C) {
+  RegEnvMap Out = Envs[Id];
+  auto It = std::lower_bound(
+      Out.begin(), Out.end(), Var,
+      [](const auto &Entry, RegionVarId V) { return Entry.first < V; });
+  if (It != Out.end() && It->first == Var) {
+    // Rebinding (e.g. a recursive instantiation reusing a formal name).
+    It->second = C;
+  } else {
+    Out.insert(It, {Var, C});
+  }
+  return intern(std::move(Out));
+}

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract region environments for the extended closure analysis
+/// (paper §3). An abstract region environment R maps the region variables
+/// in scope to *colors*; two region variables map to the same color iff
+/// they are bound to the same runtime region, so R preserves exact region
+/// aliasing. Environments are interned: analyses pass around dense ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_CLOSURE_ABSTRACTENV_H
+#define AFL_CLOSURE_ABSTRACTENV_H
+
+#include "regions/RegionTypes.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace afl {
+namespace closure {
+
+/// A color: an abstract runtime region. Colors are small integers; the
+/// minimal unused color is chosen when a letregion introduces a region,
+/// bounding the color count by the maximum number of region variables in
+/// scope (paper §3).
+using Color = uint32_t;
+
+/// Dense id of an interned abstract region environment.
+using RegEnvId = uint32_t;
+
+/// One abstract region environment: sorted (region variable → color).
+using RegEnvMap = std::vector<std::pair<regions::RegionVarId, Color>>;
+
+/// Interner for abstract region environments.
+class RegEnvTable {
+public:
+  /// Interns \p Map (must be sorted by region variable, no duplicates).
+  RegEnvId intern(RegEnvMap Map);
+
+  const RegEnvMap &get(RegEnvId Id) const { return Envs[Id]; }
+  size_t size() const { return Envs.size(); }
+
+  /// The color of \p Var in \p Id. \p Var must be in the environment.
+  Color colorOf(RegEnvId Id, regions::RegionVarId Var) const;
+
+  /// True if \p Var is mapped by \p Id.
+  bool maps(RegEnvId Id, regions::RegionVarId Var) const;
+
+  /// Maps a set of region variables to the corresponding set of colors.
+  std::set<Color> colorsOf(RegEnvId Id,
+                           const std::set<regions::RegionVarId> &Vars) const;
+
+  /// Restricts \p Id to the variables in \p Keep (all must be mapped).
+  RegEnvId restrict(RegEnvId Id, const std::set<regions::RegionVarId> &Keep);
+
+  /// Extends \p Id with \p Var bound to the minimal color not in the
+  /// range of \p Id (the letregion rule of Fig. 3).
+  RegEnvId extendFresh(RegEnvId Id, regions::RegionVarId Var);
+
+  /// Extends \p Id with \p Var bound to an explicit \p C (used to bind a
+  /// region-polymorphic function's formal to the actual's color).
+  RegEnvId extend(RegEnvId Id, regions::RegionVarId Var, Color C);
+
+private:
+  std::vector<RegEnvMap> Envs;
+  std::map<RegEnvMap, RegEnvId> Index;
+};
+
+} // namespace closure
+} // namespace afl
+
+#endif // AFL_CLOSURE_ABSTRACTENV_H

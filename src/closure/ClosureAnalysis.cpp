@@ -1,0 +1,206 @@
+#include "closure/ClosureAnalysis.h"
+
+using namespace afl;
+using namespace afl::closure;
+using namespace afl::regions;
+
+ClosureAnalysis::ClosureAnalysis(const RegionProgram &Prog) : Prog(Prog) {
+  RegEnvMap Root;
+  Color C = 0;
+  for (RegionVarId R : Prog.GlobalRegions)
+    Root.push_back({R, C++});
+  RootEnv = Envs.intern(std::move(Root));
+}
+
+AbsClosureId ClosureAnalysis::internClosure(const RExpr *Fun, RegEnvId Env) {
+  auto It = ClosureIndex.find({Fun, Env});
+  if (It != ClosureIndex.end())
+    return It->second;
+  AbsClosureId Id = static_cast<AbsClosureId>(Closures.size());
+  Closures.push_back({Fun, Env});
+  ClosureIndex.emplace(std::make_pair(Fun, Env), Id);
+  return Id;
+}
+
+RegEnvId ClosureAnalysis::contextEnv(const RExpr *N, RegEnvId Incoming) {
+  RegEnvId Env = Incoming;
+  for (RegionVarId R : N->boundRegions())
+    Env = Envs.extendFresh(Env, R);
+  return Env;
+}
+
+const std::set<RegEnvId> &ClosureAnalysis::contextsOf(RNodeId N) const {
+  static const std::set<RegEnvId> Empty;
+  auto It = Contexts.find(N);
+  return It == Contexts.end() ? Empty : It->second;
+}
+
+const std::set<AbsClosureId> &ClosureAnalysis::valuesOf(RNodeId N,
+                                                        RegEnvId Env) const {
+  static const std::set<AbsClosureId> Empty;
+  auto It = Values.find({N, Env});
+  return It == Values.end() ? Empty : It->second;
+}
+
+const RExpr *ClosureAnalysis::bodyOf(const AbsClosure &C) const {
+  if (const auto *L = dyn_cast<RLambdaExpr>(C.Fun))
+    return L->body();
+  return cast<RLetrecExpr>(C.Fun)->fnBody();
+}
+
+VarId ClosureAnalysis::paramOf(const AbsClosure &C) const {
+  if (const auto *L = dyn_cast<RLambdaExpr>(C.Fun))
+    return L->param();
+  return cast<RLetrecExpr>(C.Fun)->param();
+}
+
+std::set<RegionVarId> ClosureAnalysis::latentOf(const AbsClosure &C) const {
+  RTypeId Arrow;
+  if (isa<RLambdaExpr>(C.Fun))
+    Arrow = C.Fun->type();
+  else
+    Arrow = Prog.varInfo(cast<RLetrecExpr>(C.Fun)->fn()).Type;
+  EffectSet Probe;
+  Probe.EffectVars.insert(Prog.Types.arrowEffect(Arrow));
+  return Prog.Types.regionsOf(Probe);
+}
+
+size_t ClosureAnalysis::numContexts() const {
+  size_t N = 0;
+  for (const auto &[Node, Envs] : Contexts)
+    N += Envs.size();
+  return N;
+}
+
+void ClosureAnalysis::addTo(std::map<Key, std::set<AbsClosureId>> &M, Key K,
+                            const std::set<AbsClosureId> &NewValues) {
+  std::set<AbsClosureId> &S = M[K];
+  for (AbsClosureId V : NewValues)
+    Changed |= S.insert(V).second;
+}
+
+std::set<AbsClosureId> ClosureAnalysis::analyze(const RExpr *N, RegEnvId R) {
+  RegEnvId Env = contextEnv(N, R);
+  Key K{N->id(), Env};
+  Changed |= Contexts[N->id()].insert(Env).second;
+
+  // Cycle guard: recursive functions re-enter their own body context; the
+  // cached set from the previous pass is the sound approximation.
+  if (!InProgress.insert(K).second)
+    return Values[K];
+
+  std::set<AbsClosureId> Out;
+  switch (N->kind()) {
+  case RExpr::Kind::Int:
+  case RExpr::Kind::Bool:
+  case RExpr::Kind::Unit:
+  case RExpr::Kind::Nil:
+    break;
+  case RExpr::Kind::Var: {
+    const auto &S = VarSets[cast<RVarExpr>(N)->var()];
+    Out.insert(S.begin(), S.end());
+    break;
+  }
+  case RExpr::Kind::Lambda: {
+    const auto *L = cast<RLambdaExpr>(N);
+    Out.insert(internClosure(N, Envs.restrict(Env, L->freeRegions())));
+    break;
+  }
+  case RExpr::Kind::RegApp: {
+    const auto *RA = cast<RRegAppExpr>(N);
+    const RLetrecExpr *Callee = Prog.varInfo(RA->fn()).Letrec;
+    assert(Callee && "region application of non-letrec");
+    RegEnvId ClosEnv = Envs.restrict(Env, Callee->freeRegions());
+    for (size_t I = 0; I != Callee->formals().size(); ++I)
+      ClosEnv = Envs.extend(ClosEnv, Callee->formals()[I],
+                            Envs.colorOf(Env, RA->actuals()[I]));
+    Out.insert(internClosure(Callee, ClosEnv));
+    break;
+  }
+  case RExpr::Kind::App: {
+    const auto *A = cast<RAppExpr>(N);
+    std::set<AbsClosureId> Fns = analyze(A->fn(), Env);
+    std::set<AbsClosureId> Args = analyze(A->arg(), Env);
+    for (AbsClosureId Id : Fns) {
+      const AbsClosure Cl = Closures[Id]; // copy: Closures may grow
+      // Bind the parameter and analyze the body under the closure's env.
+      std::set<AbsClosureId> &PS = VarSets[paramOf(Cl)];
+      for (AbsClosureId V : Args)
+        Changed |= PS.insert(V).second;
+      std::set<AbsClosureId> BodyVals = analyze(bodyOf(Cl), Cl.Env);
+      Out.insert(BodyVals.begin(), BodyVals.end());
+    }
+    break;
+  }
+  case RExpr::Kind::Let: {
+    const auto *L = cast<RLetExpr>(N);
+    std::set<AbsClosureId> Init = analyze(L->init(), Env);
+    std::set<AbsClosureId> &VS = VarSets[L->var()];
+    for (AbsClosureId V : Init)
+      Changed |= VS.insert(V).second;
+    Out = analyze(L->body(), Env);
+    break;
+  }
+  case RExpr::Kind::Letrec:
+    // The function body is analyzed when its closures are applied.
+    Out = analyze(cast<RLetrecExpr>(N)->body(), Env);
+    break;
+  case RExpr::Kind::If: {
+    const auto *I = cast<RIfExpr>(N);
+    analyze(I->cond(), Env);
+    std::set<AbsClosureId> T = analyze(I->thenExpr(), Env);
+    std::set<AbsClosureId> E = analyze(I->elseExpr(), Env);
+    Out.insert(T.begin(), T.end());
+    Out.insert(E.begin(), E.end());
+    break;
+  }
+  case RExpr::Kind::Pair: {
+    const auto *P = cast<RPairExpr>(N);
+    std::set<AbsClosureId> A = analyze(P->first(), Env);
+    std::set<AbsClosureId> B = analyze(P->second(), Env);
+    for (AbsClosureId V : A)
+      Changed |= EscapePool.insert(V).second;
+    for (AbsClosureId V : B)
+      Changed |= EscapePool.insert(V).second;
+    break;
+  }
+  case RExpr::Kind::Cons: {
+    const auto *Cn = cast<RConsExpr>(N);
+    std::set<AbsClosureId> H = analyze(Cn->head(), Env);
+    analyze(Cn->tail(), Env);
+    for (AbsClosureId V : H)
+      Changed |= EscapePool.insert(V).second;
+    break;
+  }
+  case RExpr::Kind::UnOp: {
+    const auto *U = cast<RUnOpExpr>(N);
+    analyze(U->operand(), Env);
+    // Projections whose static type is a function read the escape pool.
+    if (Prog.Types.kind(N->type()) == RTypeKind::Arrow)
+      Out.insert(EscapePool.begin(), EscapePool.end());
+    break;
+  }
+  case RExpr::Kind::BinOp: {
+    const auto *B = cast<RBinOpExpr>(N);
+    analyze(B->lhs(), Env);
+    analyze(B->rhs(), Env);
+    break;
+  }
+  }
+
+  InProgress.erase(K);
+  addTo(Values, K, Out);
+  return Values[K];
+}
+
+unsigned ClosureAnalysis::run() {
+  unsigned Passes = 0;
+  do {
+    Changed = false;
+    InProgress.clear();
+    analyze(Prog.Root, RootEnv);
+    ++Passes;
+    assert(Passes < 1000 && "closure analysis failed to stabilize");
+  } while (Changed);
+  return Passes;
+}

@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extended closure analysis (paper §3, Fig. 3): for every expression and
+/// abstract region environment, the set of abstract closures the
+/// expression may evaluate to. An abstract closure pairs a function node
+/// (an ordinary lambda, or a letrec function partially applied to region
+/// actuals) with the abstract region environment captured at its creation.
+///
+/// Region aliasing is explicit: abstract environments map region variables
+/// to colors, and a region-polymorphic function called with aliased
+/// actuals yields an environment mapping two formals to one color.
+///
+/// Deviations from the paper (documented in DESIGN.md):
+///  * Variable value sets are keyed by (unique) binder rather than by
+///    (binder, restricted environment). This merges calling contexts — a
+///    sound over-approximation that can only add constraints downstream.
+///  * Closures stored in pairs/lists are tracked through a global escape
+///    pool; projections whose static type is an arrow read the pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_CLOSURE_CLOSUREANALYSIS_H
+#define AFL_CLOSURE_CLOSUREANALYSIS_H
+
+#include "closure/AbstractEnv.h"
+#include "regions/RegionProgram.h"
+
+#include <map>
+
+namespace afl {
+namespace closure {
+
+/// Dense id of an interned abstract closure.
+using AbsClosureId = uint32_t;
+
+/// An abstract closure: a function node plus the abstract region
+/// environment under which its body will run. \c Fun is an RLambdaExpr or
+/// an RLetrecExpr (whose formals are already bound to colors in \c Env).
+struct AbsClosure {
+  const regions::RExpr *Fun = nullptr;
+  RegEnvId Env = 0;
+};
+
+/// Runs the analysis over a finalized region program and exposes the
+/// results to constraint generation.
+class ClosureAnalysis {
+public:
+  explicit ClosureAnalysis(const regions::RegionProgram &Prog);
+
+  /// Iterates to a fixpoint. Returns the number of passes taken.
+  unsigned run();
+
+  RegEnvTable &envs() { return Envs; }
+  const RegEnvTable &envs() const { return Envs; }
+
+  /// The abstract environment of the program's top level (globals mapped
+  /// to distinct colors 0..n-1).
+  RegEnvId rootEnv() const { return RootEnv; }
+
+  /// The context environment for evaluating \p N when reached under
+  /// \p Incoming: \p Incoming extended with N's letregion bindings (each
+  /// given the minimal free color).
+  RegEnvId contextEnv(const regions::RExpr *N, RegEnvId Incoming);
+
+  const AbsClosure &closure(AbsClosureId Id) const { return Closures[Id]; }
+
+  /// All context environments under which \p N was analyzed.
+  const std::set<RegEnvId> &contextsOf(regions::RNodeId N) const;
+
+  /// Abstract value of \p N under context environment \p Env (must be a
+  /// registered context).
+  const std::set<AbsClosureId> &valuesOf(regions::RNodeId N,
+                                         RegEnvId Env) const;
+
+  /// For a closure: its body node and the parameter variable.
+  const regions::RExpr *bodyOf(const AbsClosure &C) const;
+  regions::VarId paramOf(const AbsClosure &C) const;
+
+  /// Latent-effect region variables of the closure's arrow type (in the
+  /// closure's own frame: formal names for letrec closures).
+  std::set<regions::RegionVarId> latentOf(const AbsClosure &C) const;
+
+  size_t numContexts() const;
+  size_t numClosures() const { return Closures.size(); }
+
+private:
+  using Key = std::pair<regions::RNodeId, RegEnvId>;
+
+  AbsClosureId internClosure(const regions::RExpr *Fun, RegEnvId Env);
+
+  /// Analyzes \p N under incoming env \p R (pre-letregion); returns the
+  /// abstract value set (by value: the underlying map may rehash).
+  std::set<AbsClosureId> analyze(const regions::RExpr *N, RegEnvId R);
+
+  /// Unions \p Values into the set at \p K; sets Changed on growth.
+  void addTo(std::map<Key, std::set<AbsClosureId>> &M, Key K,
+             const std::set<AbsClosureId> &Values);
+
+  const regions::RegionProgram &Prog;
+  RegEnvTable Envs;
+  RegEnvId RootEnv = 0;
+
+  std::vector<AbsClosure> Closures;
+  std::map<std::pair<const regions::RExpr *, RegEnvId>, AbsClosureId>
+      ClosureIndex;
+
+  std::map<Key, std::set<AbsClosureId>> Values;
+  std::map<regions::VarId, std::set<AbsClosureId>> VarSets;
+  std::map<regions::RNodeId, std::set<RegEnvId>> Contexts;
+  std::set<AbsClosureId> EscapePool;
+
+  std::set<Key> InProgress; // per-pass cycle guard
+  bool Changed = false;
+};
+
+} // namespace closure
+} // namespace afl
+
+#endif // AFL_CLOSURE_CLOSUREANALYSIS_H

@@ -1,0 +1,70 @@
+#include "completion/AflCompletion.h"
+
+#include "closure/ClosureAnalysis.h"
+#include "completion/Conservative.h"
+#include "constraints/ConstraintGen.h"
+#include "solver/Solver.h"
+
+#include <algorithm>
+
+using namespace afl;
+using namespace afl::completion;
+using namespace afl::regions;
+
+Completion completion::aflCompletion(const RegionProgram &Prog,
+                                     AflStats *Stats,
+                                     const constraints::GenOptions &Options) {
+  closure::ClosureAnalysis CA(Prog);
+  unsigned Passes = CA.run();
+
+  constraints::GenResult Gen =
+      constraints::generateConstraints(Prog, CA, Options);
+  solver::SolveResult Sol = solver::solve(Gen.Sys);
+
+  if (Stats) {
+    Stats->ClosurePasses = Passes;
+    Stats->NumContexts = Gen.NumContexts;
+    Stats->NumClosures = CA.numClosures();
+    Stats->NumStateVars = Gen.Sys.numStateVars();
+    Stats->NumBoolVars = Gen.Sys.numBoolVars();
+    Stats->NumConstraints = Gen.Sys.numConstraints();
+    Stats->NumPinnedCalls = Gen.NumPinnedCalls;
+    Stats->SolverPropagations = Sol.Propagations;
+    Stats->SolverChoices = Sol.Choices;
+    Stats->SolverBacktracks = Sol.Backtracks;
+    Stats->Solved = Sol.Sat;
+  }
+
+  if (!Sol.Sat)
+    return conservativeCompletion(Prog);
+
+  Completion Out;
+  for (const constraints::ChoicePoint &CP : Gen.Choices) {
+    if (!Sol.boolValue(CP.B))
+      continue;
+    switch (CP.Kind) {
+    case COpKind::AllocBefore:
+    case COpKind::FreeBefore:
+      Out.Pre[CP.Node].push_back({CP.Kind, CP.Region});
+      break;
+    case COpKind::AllocAfter:
+    case COpKind::FreeAfter:
+      Out.Post[CP.Node].push_back({CP.Kind, CP.Region});
+      break;
+    case COpKind::FreeApp:
+      Out.FreeApp[CP.Node].push_back({CP.Kind, CP.Region});
+      break;
+    }
+  }
+  // Ops at one point fire in ascending region order — the same
+  // sequentialization order used by constraint generation.
+  auto SortOps = [](std::unordered_map<RNodeId, std::vector<COp>> &M) {
+    for (auto &[Node, Ops] : M)
+      std::sort(Ops.begin(), Ops.end(),
+                [](const COp &A, const COp &B) { return A.Region < B.Region; });
+  };
+  SortOps(Out.Pre);
+  SortOps(Out.Post);
+  SortOps(Out.FreeApp);
+  return Out;
+}

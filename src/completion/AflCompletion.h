@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The A-F-L completion: runs the extended closure analysis, generates
+/// the §4 constraint system, solves it with the late-alloc/early-free
+/// choice strategy, and extracts the completion operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_COMPLETION_AFLCOMPLETION_H
+#define AFL_COMPLETION_AFLCOMPLETION_H
+
+#include "constraints/ConstraintGen.h"
+#include "regions/Completion.h"
+#include "regions/RegionProgram.h"
+
+#include <cstdint>
+#include <string>
+
+namespace afl {
+namespace completion {
+
+/// Analysis telemetry for benchmarking and the paper's complexity claims.
+struct AflStats {
+  unsigned ClosurePasses = 0;
+  size_t NumContexts = 0;
+  size_t NumClosures = 0;
+  size_t NumStateVars = 0;
+  size_t NumBoolVars = 0;
+  size_t NumConstraints = 0;
+  size_t NumPinnedCalls = 0;
+  uint64_t SolverPropagations = 0;
+  uint64_t SolverChoices = 0;
+  uint64_t SolverBacktracks = 0;
+  /// True if the solver found a solution; false means the conservative
+  /// completion was returned as a fallback (should not happen in
+  /// practice — the conservative completion witnesses satisfiability).
+  bool Solved = false;
+};
+
+/// Computes the A-F-L completion for \p Prog. On solver failure returns
+/// the conservative completion (and reports Solved = false). \p Options
+/// selects ablated variants (see constraints::GenOptions).
+regions::Completion
+aflCompletion(const regions::RegionProgram &Prog, AflStats *Stats = nullptr,
+              const constraints::GenOptions &Options =
+                  constraints::GenOptions());
+
+} // namespace completion
+} // namespace afl
+
+#endif // AFL_COMPLETION_AFLCOMPLETION_H

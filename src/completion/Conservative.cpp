@@ -1,0 +1,89 @@
+#include "completion/Conservative.h"
+
+using namespace afl;
+using namespace afl::regions;
+
+const char *regions::spelling(COpKind Kind) {
+  switch (Kind) {
+  case COpKind::AllocBefore:
+    return "alloc_before";
+  case COpKind::FreeBefore:
+    return "free_before";
+  case COpKind::AllocAfter:
+    return "alloc_after";
+  case COpKind::FreeAfter:
+    return "free_after";
+  case COpKind::FreeApp:
+    return "free_app";
+  }
+  return "?";
+}
+
+namespace {
+
+void visit(const RExpr *N, Completion &Out) {
+  for (RegionVarId R : N->boundRegions()) {
+    Out.Pre[N->id()].push_back({COpKind::AllocBefore, R});
+    Out.Post[N->id()].push_back({COpKind::FreeAfter, R});
+  }
+  switch (N->kind()) {
+  case RExpr::Kind::Int:
+  case RExpr::Kind::Bool:
+  case RExpr::Kind::Unit:
+  case RExpr::Kind::Var:
+  case RExpr::Kind::Nil:
+  case RExpr::Kind::RegApp:
+    return;
+  case RExpr::Kind::Lambda:
+    visit(cast<RLambdaExpr>(N)->body(), Out);
+    return;
+  case RExpr::Kind::App:
+    visit(cast<RAppExpr>(N)->fn(), Out);
+    visit(cast<RAppExpr>(N)->arg(), Out);
+    return;
+  case RExpr::Kind::Let:
+    visit(cast<RLetExpr>(N)->init(), Out);
+    visit(cast<RLetExpr>(N)->body(), Out);
+    return;
+  case RExpr::Kind::Letrec:
+    visit(cast<RLetrecExpr>(N)->fnBody(), Out);
+    visit(cast<RLetrecExpr>(N)->body(), Out);
+    return;
+  case RExpr::Kind::If:
+    visit(cast<RIfExpr>(N)->cond(), Out);
+    visit(cast<RIfExpr>(N)->thenExpr(), Out);
+    visit(cast<RIfExpr>(N)->elseExpr(), Out);
+    return;
+  case RExpr::Kind::Pair:
+    visit(cast<RPairExpr>(N)->first(), Out);
+    visit(cast<RPairExpr>(N)->second(), Out);
+    return;
+  case RExpr::Kind::Cons:
+    visit(cast<RConsExpr>(N)->head(), Out);
+    visit(cast<RConsExpr>(N)->tail(), Out);
+    return;
+  case RExpr::Kind::UnOp:
+    visit(cast<RUnOpExpr>(N)->operand(), Out);
+    return;
+  case RExpr::Kind::BinOp:
+    visit(cast<RBinOpExpr>(N)->lhs(), Out);
+    visit(cast<RBinOpExpr>(N)->rhs(), Out);
+    return;
+  }
+}
+
+} // namespace
+
+Completion
+completion::conservativeCompletion(const regions::RegionProgram &Prog) {
+  Completion Out;
+  visit(Prog.Root, Out);
+  // Global (result) regions: allocated up front, reclaimed by program
+  // exit. Prepend so they precede any letregion allocs on the root node.
+  auto &RootPre = Out.Pre[Prog.Root->id()];
+  std::vector<COp> Globals;
+  for (RegionVarId R : Prog.GlobalRegions)
+    Globals.push_back({COpKind::AllocBefore, R});
+  RootPre.insert(RootPre.begin(), Globals.begin(), Globals.end());
+  return Out;
+}

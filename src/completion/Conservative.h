@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conservative completion (paper §4.3): every region is allocated
+/// immediately on entry to its letregion scope and deallocated just before
+/// exiting it. This completion has exactly the memory behavior of the
+/// original Tofte/Talpin program and serves as the T-T baseline in all
+/// experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_COMPLETION_CONSERVATIVE_H
+#define AFL_COMPLETION_CONSERVATIVE_H
+
+#include "regions/Completion.h"
+#include "regions/RegionProgram.h"
+
+namespace afl {
+namespace completion {
+
+/// Builds the conservative (Tofte/Talpin-equivalent) completion for
+/// \p Prog. Global regions are allocated before the root expression and
+/// never freed (they hold the observable result; program exit reclaims
+/// them, and their contents are what the "final memory" metric counts).
+regions::Completion conservativeCompletion(const regions::RegionProgram &Prog);
+
+} // namespace completion
+} // namespace afl
+
+#endif // AFL_COMPLETION_CONSERVATIVE_H

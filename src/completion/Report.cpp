@@ -1,0 +1,193 @@
+#include "completion/Report.h"
+
+#include <map>
+
+using namespace afl;
+using namespace afl::completion;
+using namespace afl::regions;
+
+const char *completion::name(RegionClass C) {
+  switch (C) {
+  case RegionClass::Lexical:
+    return "lexical";
+  case RegionClass::LateAlloc:
+    return "late-alloc";
+  case RegionClass::EarlyFree:
+    return "early-free";
+  case RegionClass::NonLexical:
+    return "non-lexical";
+  case RegionClass::Unused:
+    return "unused";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Gather {
+  std::map<RegionVarId, RegionReport> Reports;
+
+  RegionReport &at(RegionVarId R) {
+    RegionReport &Rep = Reports[R];
+    Rep.Region = R;
+    return Rep;
+  }
+
+  void scanOps(const RExpr *N, const std::vector<COp> *Ops) {
+    if (!Ops)
+      return;
+    for (const COp &Op : *Ops) {
+      RegionReport &Rep = at(Op.Region);
+      switch (Op.Kind) {
+      case COpKind::AllocBefore:
+      case COpKind::AllocAfter:
+        Rep.AllocNodes.push_back(N->id());
+        break;
+      case COpKind::FreeApp:
+        ++Rep.NumFreeApp;
+        [[fallthrough]];
+      case COpKind::FreeBefore:
+      case COpKind::FreeAfter:
+        Rep.FreeNodes.push_back(N->id());
+        break;
+      }
+    }
+  }
+
+  void visit(const RExpr *N, const Completion &C) {
+    for (RegionVarId R : N->boundRegions())
+      at(R).IntroNode = N->id();
+    scanOps(N, C.preOps(N->id()));
+    scanOps(N, C.postOps(N->id()));
+    scanOps(N, C.freeAppOps(N->id()));
+    switch (N->kind()) {
+    case RExpr::Kind::Lambda:
+      visit(cast<RLambdaExpr>(N)->body(), C);
+      return;
+    case RExpr::Kind::App:
+      visit(cast<RAppExpr>(N)->fn(), C);
+      visit(cast<RAppExpr>(N)->arg(), C);
+      return;
+    case RExpr::Kind::Let:
+      visit(cast<RLetExpr>(N)->init(), C);
+      visit(cast<RLetExpr>(N)->body(), C);
+      return;
+    case RExpr::Kind::Letrec:
+      visit(cast<RLetrecExpr>(N)->fnBody(), C);
+      visit(cast<RLetrecExpr>(N)->body(), C);
+      return;
+    case RExpr::Kind::If:
+      visit(cast<RIfExpr>(N)->cond(), C);
+      visit(cast<RIfExpr>(N)->thenExpr(), C);
+      visit(cast<RIfExpr>(N)->elseExpr(), C);
+      return;
+    case RExpr::Kind::Pair:
+      visit(cast<RPairExpr>(N)->first(), C);
+      visit(cast<RPairExpr>(N)->second(), C);
+      return;
+    case RExpr::Kind::Cons:
+      visit(cast<RConsExpr>(N)->head(), C);
+      visit(cast<RConsExpr>(N)->tail(), C);
+      return;
+    case RExpr::Kind::UnOp:
+      visit(cast<RUnOpExpr>(N)->operand(), C);
+      return;
+    case RExpr::Kind::BinOp:
+      visit(cast<RBinOpExpr>(N)->lhs(), C);
+      visit(cast<RBinOpExpr>(N)->rhs(), C);
+      return;
+    default:
+      return;
+    }
+  }
+};
+
+} // namespace
+
+CompletionReport completion::reportCompletion(const RegionProgram &Prog,
+                                              const Completion &C) {
+  Gather G;
+  for (RegionVarId R : Prog.GlobalRegions)
+    G.at(R); // IntroNode stays ~0u: program level
+  G.visit(Prog.Root, C);
+
+  CompletionReport Out;
+  for (auto &[R, Rep] : G.Reports) {
+    if (Rep.AllocNodes.empty()) {
+      Rep.Class = RegionClass::Unused;
+    } else {
+      // Lexical placement = the alloc sits on the introducing node's
+      // pre-list and the (single) free on its post-list. Globals are
+      // lexical when allocated at the root and never freed.
+      bool AllocAtIntro =
+          Rep.AllocNodes.size() == 1 &&
+          (Rep.IntroNode == ~0u
+               ? Rep.AllocNodes[0] == Prog.Root->id()
+               : Rep.AllocNodes[0] == Rep.IntroNode);
+      bool FreeAtIntro =
+          Rep.IntroNode == ~0u
+              ? Rep.FreeNodes.empty()
+              : (Rep.FreeNodes.size() == 1 &&
+                 Rep.FreeNodes[0] == Rep.IntroNode && Rep.NumFreeApp == 0);
+      if (AllocAtIntro && FreeAtIntro)
+        Rep.Class = RegionClass::Lexical;
+      else if (AllocAtIntro)
+        Rep.Class = RegionClass::EarlyFree;
+      else if (FreeAtIntro)
+        Rep.Class = RegionClass::LateAlloc;
+      else
+        Rep.Class = RegionClass::NonLexical;
+    }
+    switch (Rep.Class) {
+    case RegionClass::Lexical:
+      ++Out.NumLexical;
+      break;
+    case RegionClass::LateAlloc:
+      ++Out.NumLateAlloc;
+      break;
+    case RegionClass::EarlyFree:
+      ++Out.NumEarlyFree;
+      break;
+    case RegionClass::NonLexical:
+      ++Out.NumNonLexical;
+      break;
+    case RegionClass::Unused:
+      ++Out.NumUnused;
+      break;
+    }
+    Out.Regions.push_back(Rep);
+  }
+  return Out;
+}
+
+std::string CompletionReport::str() const {
+  std::string S;
+  S += "completion report: " + std::to_string(Regions.size()) +
+       " regions — ";
+  S += std::to_string(NumLexical) + " lexical, ";
+  S += std::to_string(NumLateAlloc) + " late-alloc, ";
+  S += std::to_string(NumEarlyFree) + " early-free, ";
+  S += std::to_string(NumNonLexical) + " non-lexical, ";
+  S += std::to_string(NumUnused) + " unused\n";
+  for (const RegionReport &R : Regions) {
+    S += "  r" + std::to_string(R.Region) + ": " + name(R.Class);
+    if (R.IntroNode == ~0u)
+      S += " (global)";
+    else
+      S += " (scope node " + std::to_string(R.IntroNode) + ")";
+    if (!R.AllocNodes.empty())
+      S += ", alloc@" + std::to_string(R.AllocNodes[0]);
+    if (!R.FreeNodes.empty()) {
+      S += ", free@";
+      for (size_t I = 0; I != R.FreeNodes.size(); ++I) {
+        if (I)
+          S += '/';
+        S += std::to_string(R.FreeNodes[I]);
+      }
+    }
+    if (R.NumFreeApp)
+      S += " (free_app)";
+    S += '\n';
+  }
+  return S;
+}

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Completion reports — the programmer feedback the paper's §7 calls for:
+/// "for this approach to memory management to be practical, feedback to
+/// programmers about the nature of the completion will be important."
+///
+/// For every region the report classifies how its completion operations
+/// relate to its lexical scope:
+///   * Lexical      — allocated on scope entry and freed on scope exit
+///                    (no better than the stack discipline);
+///   * LateAlloc    — allocation postponed past scope entry;
+///   * EarlyFree    — freed before scope exit (including free_app);
+///   * NonLexical   — both;
+///   * Unused       — never allocated at all (no dynamic access).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_COMPLETION_REPORT_H
+#define AFL_COMPLETION_REPORT_H
+
+#include "regions/Completion.h"
+#include "regions/RegionProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace afl {
+namespace completion {
+
+/// How a region's operations relate to its lexical scope.
+enum class RegionClass { Lexical, LateAlloc, EarlyFree, NonLexical, Unused };
+
+/// Returns "lexical", "late-alloc", ...
+const char *name(RegionClass C);
+
+/// Report entry for one region variable.
+struct RegionReport {
+  regions::RegionVarId Region = 0;
+  /// Node introducing the region (~0u = program-level/global).
+  regions::RNodeId IntroNode = ~0u;
+  /// Nodes carrying alloc operations for it (empty = never allocated).
+  std::vector<regions::RNodeId> AllocNodes;
+  /// Nodes carrying free operations (free_after / free_app) for it.
+  std::vector<regions::RNodeId> FreeNodes;
+  /// Number of free_app operations among FreeNodes.
+  unsigned NumFreeApp = 0;
+  RegionClass Class = RegionClass::Lexical;
+};
+
+struct CompletionReport {
+  std::vector<RegionReport> Regions;
+  unsigned NumLexical = 0;
+  unsigned NumLateAlloc = 0;
+  unsigned NumEarlyFree = 0;
+  unsigned NumNonLexical = 0;
+  unsigned NumUnused = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+};
+
+/// Builds the report for \p C over \p Prog.
+CompletionReport reportCompletion(const regions::RegionProgram &Prog,
+                                  const regions::Completion &C);
+
+} // namespace completion
+} // namespace afl
+
+#endif // AFL_COMPLETION_REPORT_H

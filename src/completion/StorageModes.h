@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage-mode analysis, after Tofte/Talpin [TT94 §7] and the storage
+/// mode analysis of [Tof94]: each value-producing expression `e@ρ` is
+/// annotated `attop` (write on top of the region's current contents) or
+/// `atbot` (reset the region — destroy its current contents — before
+/// writing). The A-F-L paper (§6) notes that completions are orthogonal
+/// to storage modes and that its target programs carry both annotation
+/// kinds; this module supplies the storage-mode half.
+///
+/// A write into ρ may be `atbot` only if no currently-stored value of ρ
+/// can be used afterwards. We use a conservative, purely syntactic
+/// criterion, computed per *analysis domain* (the program top level and
+/// each function body):
+///
+///   * only regions letregion-bound within the current domain are
+///     eligible (outer regions' contents may be live in callers);
+///   * a backward pass computes, for each node, the variables live after
+///     it and the regions of values pending in enclosing evaluation
+///     contexts (e.g. the first pair component while the second is being
+///     evaluated, the function value while the argument runs, callee-
+///     reachable regions during a call);
+///   * the write is `atbot` iff its region is in neither the regions of
+///     the live variables' types nor the pending set (for constructor
+///     writes, the component values' regions are pending too).
+///
+/// Region-polymorphic formals always write `attop` (no `sat` modes) —
+/// a documented simplification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_COMPLETION_STORAGEMODES_H
+#define AFL_COMPLETION_STORAGEMODES_H
+
+#include "regions/RegionProgram.h"
+
+#include <unordered_set>
+
+namespace afl {
+namespace completion {
+
+/// The set of writes that may reset their region.
+struct StorageModes {
+  /// Node ids whose write is `atbot`; every other write is `attop`.
+  std::unordered_set<regions::RNodeId> AtBot;
+
+  bool isAtBot(regions::RNodeId N) const { return AtBot.count(N) != 0; }
+  size_t numAtBot() const { return AtBot.size(); }
+};
+
+/// Runs the analysis over a finalized region program.
+StorageModes inferStorageModes(const regions::RegionProgram &Prog);
+
+} // namespace completion
+} // namespace afl
+
+#endif // AFL_COMPLETION_STORAGEMODES_H

@@ -1,0 +1,410 @@
+#include "constraints/ConstraintGen.h"
+
+#include <algorithm>
+
+using namespace afl;
+using namespace afl::constraints;
+using namespace afl::regions;
+using closure::AbsClosure;
+using closure::AbsClosureId;
+using closure::Color;
+using closure::RegEnvId;
+
+namespace {
+
+/// A state vector: region color → state variable.
+using VecMap = std::map<Color, StateVarId>;
+
+class Generator {
+public:
+  Generator(const RegionProgram &Prog, closure::ClosureAnalysis &CA,
+            const GenOptions &Options, GenResult &Out)
+      : Prog(Prog), CA(CA), Options(Options), Out(Out) {}
+
+  void run() {
+    auto [In, OutV] = genCtx(Prog.Root, CA.rootEnv());
+    // Program start: all global regions unallocated.
+    // Program end: the result is observed, so every global (result) region
+    // must be allocated. (They are reclaimed by program exit.)
+    for (RegionVarId R : Prog.GlobalRegions) {
+      Color C = CA.envs().colorOf(CA.rootEnv(), R);
+      auto InIt = In.find(C);
+      if (InIt != In.end())
+        Out.Sys.restrictState(InIt->second, StU);
+      auto OutIt = OutV.find(C);
+      if (OutIt != OutV.end())
+        Out.Sys.restrictState(OutIt->second, StA);
+    }
+  }
+
+private:
+  ConstraintSystem &sys() { return Out.Sys; }
+
+  /// Shared boolean for a syntactic choice point.
+  BoolVarId boolFor(RNodeId Node, COpKind Kind, RegionVarId Region) {
+    auto Key = std::make_tuple(Node, Kind, Region);
+    auto It = BoolIndex.find(Key);
+    if (It != BoolIndex.end())
+      return It->second;
+    BoolVarId B = sys().newBool();
+    BoolIndex.emplace(Key, B);
+    Out.Choices.push_back({Node, Kind, Region, B});
+    return B;
+  }
+
+  VecMap freshVec(const std::set<Color> &Colors) {
+    VecMap V;
+    for (Color C : Colors)
+      V[C] = sys().newState();
+    return V;
+  }
+
+  /// Equates \p A and \p B on their common colors.
+  void linkEq(const VecMap &A, const VecMap &B) {
+    for (const auto &[C, S] : A) {
+      auto It = B.find(C);
+      if (It != B.end())
+        sys().addEq(S, It->second);
+    }
+  }
+
+  /// Projection of \p V onto \p Colors (all must be present).
+  VecMap project(const VecMap &V, const std::set<Color> &Colors) {
+    VecMap Out;
+    for (Color C : Colors) {
+      auto It = V.find(C);
+      assert(It != V.end() && "color missing from child vector");
+      Out[C] = It->second;
+    }
+    return Out;
+  }
+
+  void requireA(const VecMap &V, Color C) {
+    auto It = V.find(C);
+    assert(It != V.end() && "accessed region not tracked at this point");
+    sys().restrictState(It->second, StA);
+  }
+
+  /// Generates the in/out vectors for context (N, contextEnv(N, Incoming)).
+  /// Cached so all call sites of a shared function body link to the same
+  /// vectors; recursion terminates because the cache is filled before the
+  /// body is processed.
+  std::pair<VecMap, VecMap> genCtx(const RExpr *N, RegEnvId Incoming) {
+    RegEnvId Env = CA.contextEnv(N, Incoming);
+    auto Key = std::make_pair(N->id(), Env);
+    auto It = CtxCache.find(Key);
+    if (It != CtxCache.end())
+      return It->second;
+
+    std::set<Color> Colors = CA.envs().colorsOf(Env, N->overallEffect());
+    VecMap In = freshVec(Colors);
+    VecMap OutV = freshVec(Colors);
+    CtxCache.emplace(Key, std::make_pair(In, OutV));
+    ++Out.NumContexts;
+
+    // letregion entry: freshly introduced regions start unallocated.
+    for (RegionVarId R : N->boundRegions())
+      sys().restrictState(In.at(CA.envs().colorOf(Env, R)), StU);
+
+    // Pre-chain: potential alloc_before for every overall-effect region,
+    // sequentialized in ascending region order (§4.2: aliased variables
+    // must not both fire, which sequential triples guarantee). Under the
+    // lexical-allocation ablation, only the introducing node gets a
+    // choice point.
+    VecMap Cur = In;
+    for (RegionVarId R : sortedOverall(N)) {
+      if (!Options.LateAlloc && !introduces(N, R))
+        continue;
+      Color C = CA.envs().colorOf(Env, R);
+      BoolVarId B = boolFor(N->id(), COpKind::AllocBefore, R);
+      StateVarId Next = sys().newState();
+      sys().addAllocTriple(Cur.at(C), B, Next);
+      Cur[C] = Next;
+    }
+
+    VecMap CoreOut = genCore(N, Env, Cur);
+
+    // Post-chain: potential free_after for every overall-effect region.
+    for (RegionVarId R : sortedOverall(N)) {
+      if (!Options.EarlyFree && !introduces(N, R))
+        continue;
+      Color C = CA.envs().colorOf(Env, R);
+      BoolVarId B = boolFor(N->id(), COpKind::FreeAfter, R);
+      StateVarId Next = sys().newState();
+      sys().addDeallocTriple(CoreOut.at(C), B, Next);
+      CoreOut[C] = Next;
+    }
+
+    linkEq(CoreOut, OutV);
+
+    // letregion exit: introduced regions must not be left allocated.
+    for (RegionVarId R : N->boundRegions())
+      sys().restrictState(OutV.at(CA.envs().colorOf(Env, R)), StU | StD);
+
+    return {In, OutV};
+  }
+
+  /// True if \p N is the point where \p R enters scope (its letregion
+  /// node, or the program root for a global region).
+  bool introduces(const RExpr *N, RegionVarId R) const {
+    for (RegionVarId B : N->boundRegions())
+      if (B == R)
+        return true;
+    if (N == Prog.Root)
+      for (RegionVarId G : Prog.GlobalRegions)
+        if (G == R)
+          return true;
+    return false;
+  }
+
+  std::vector<RegionVarId> sortedOverall(const RExpr *N) const {
+    return std::vector<RegionVarId>(N->overallEffect().begin(),
+                                    N->overallEffect().end());
+  }
+
+  /// Links child (in its own context) into the current chain: equates
+  /// \p Cur with the child's in vector and returns the child's out vector
+  /// projected onto \p MyColors.
+  VecMap genChild(const RExpr *Child, RegEnvId Env, const VecMap &Cur,
+                  const std::set<Color> &MyColors) {
+    auto [CIn, COut] = genCtx(Child, Env);
+    linkEq(Cur, CIn);
+    return project(COut, MyColors);
+  }
+
+  VecMap genCore(const RExpr *N, RegEnvId Env, VecMap Cur) {
+    std::set<Color> MyColors;
+    for (const auto &[C, S] : Cur)
+      MyColors.insert(C);
+
+    auto requireReadsWrites = [&](const VecMap &V) {
+      if (N->hasWriteRegion())
+        requireA(V, CA.envs().colorOf(Env, N->writeRegion()));
+      for (RegionVarId R : N->readRegions())
+        requireA(V, CA.envs().colorOf(Env, R));
+    };
+
+    switch (N->kind()) {
+    case RExpr::Kind::Int:
+    case RExpr::Kind::Bool:
+    case RExpr::Kind::Unit:
+    case RExpr::Kind::Nil:
+    case RExpr::Kind::Lambda:
+    case RExpr::Kind::RegApp:
+      requireReadsWrites(Cur);
+      return Cur;
+    case RExpr::Kind::Var:
+      return Cur;
+    case RExpr::Kind::Let: {
+      const auto *L = cast<RLetExpr>(N);
+      VecMap AfterInit = genChild(L->init(), Env, Cur, MyColors);
+      return genChild(L->body(), Env, AfterInit, MyColors);
+    }
+    case RExpr::Kind::Letrec: {
+      const auto *L = cast<RLetrecExpr>(N);
+      // Storing the region-polymorphic closure writes ρf.
+      requireReadsWrites(Cur);
+      return genChild(L->body(), Env, Cur, MyColors);
+    }
+    case RExpr::Kind::If: {
+      const auto *I = cast<RIfExpr>(N);
+      VecMap AfterCond = genChild(I->cond(), Env, Cur, MyColors);
+      // The condition's region is read after it is evaluated.
+      requireA(AfterCond, CA.envs().colorOf(Env, N->readRegions()[0]));
+      auto [TIn, TOut] = genCtx(I->thenExpr(), Env);
+      auto [EIn, EOut] = genCtx(I->elseExpr(), Env);
+      linkEq(AfterCond, TIn);
+      linkEq(AfterCond, EIn);
+      VecMap Joined = freshVec(MyColors);
+      linkEq(project(TOut, MyColors), Joined);
+      linkEq(project(EOut, MyColors), Joined);
+      return Joined;
+    }
+    case RExpr::Kind::Pair: {
+      const auto *P = cast<RPairExpr>(N);
+      VecMap AfterFirst = genChild(P->first(), Env, Cur, MyColors);
+      VecMap AfterSecond =
+          genChild(P->second(), Env, AfterFirst, MyColors);
+      requireReadsWrites(AfterSecond);
+      return AfterSecond;
+    }
+    case RExpr::Kind::Cons: {
+      const auto *Cn = cast<RConsExpr>(N);
+      VecMap AfterHead = genChild(Cn->head(), Env, Cur, MyColors);
+      VecMap AfterTail = genChild(Cn->tail(), Env, AfterHead, MyColors);
+      requireReadsWrites(AfterTail);
+      return AfterTail;
+    }
+    case RExpr::Kind::UnOp: {
+      const auto *U = cast<RUnOpExpr>(N);
+      VecMap AfterOp = genChild(U->operand(), Env, Cur, MyColors);
+      requireReadsWrites(AfterOp);
+      return AfterOp;
+    }
+    case RExpr::Kind::BinOp: {
+      const auto *B = cast<RBinOpExpr>(N);
+      VecMap AfterLhs = genChild(B->lhs(), Env, Cur, MyColors);
+      VecMap AfterRhs = genChild(B->rhs(), Env, AfterLhs, MyColors);
+      requireReadsWrites(AfterRhs);
+      return AfterRhs;
+    }
+    case RExpr::Kind::App:
+      return genApp(cast<RAppExpr>(N), Env, std::move(Cur), MyColors);
+    }
+    assert(false && "unknown node kind");
+    return Cur;
+  }
+
+  VecMap genApp(const RAppExpr *N, RegEnvId Env, VecMap Cur,
+                const std::set<Color> &MyColors) {
+    VecMap AfterFn = genChild(N->fn(), Env, Cur, MyColors);
+    VecMap AfterArg = genChild(N->arg(), Env, AfterFn, MyColors);
+
+    // Fetching the closure reads its region.
+    RegionVarId ClosRegion = N->readRegions()[0];
+    Color ClosColor = CA.envs().colorOf(Env, ClosRegion);
+    requireA(AfterArg, ClosColor);
+
+    // free_app choice point on the closure's region (§1): after the fetch,
+    // before the body.
+    VecMap FA = AfterArg;
+    if (Options.FreeApp) {
+      BoolVarId B = boolFor(N->id(), COpKind::FreeApp, ClosRegion);
+      StateVarId Next = sys().newState();
+      sys().addDeallocTriple(FA.at(ClosColor), B, Next);
+      FA[ClosColor] = Next;
+    }
+
+    // Caller-side effect colors of the call (set B in Fig. 4).
+    std::set<RegionVarId> CallerLatent;
+    {
+      EffectSet Probe;
+      Probe.EffectVars.insert(
+          Prog.Types.arrowEffect(N->fn()->type()));
+      CallerLatent = Prog.Types.regionsOf(Probe);
+    }
+    std::set<Color> CallerB;
+    for (RegionVarId R : CallerLatent)
+      if (CA.envs().maps(Env, R))
+        CallerB.insert(CA.envs().colorOf(Env, R));
+
+    VecMap Result = freshVec(MyColors);
+
+    RegEnvId FnCtxEnv = CA.contextEnv(N->fn(), Env);
+    const std::set<AbsClosureId> &Closures =
+        CA.valuesOf(N->fn()->id(), FnCtxEnv);
+
+    std::set<Color> BAll; // union of linked callee effect colors
+    for (AbsClosureId Id : Closures) {
+      const AbsClosure &Cl = CA.closure(Id);
+      std::set<regions::RegionVarId> CalleeLatent = CA.latentOf(Cl);
+      std::set<Color> CalleeB = CA.envs().colorsOf(Cl.Env, CalleeLatent);
+      auto [BIn, BOut] = genCtx(CA.bodyOf(Cl), Cl.Env);
+
+      // The B-equalities of Fig. 4 are justified only when the closure's
+      // environment is color-consistent with the caller's: every *free*
+      // region name mapped by both must have the same color. The callee's
+      // region formals are excluded — rebinding them per call is exactly
+      // what region polymorphism does, and their colors are caller colors
+      // of the actuals by construction. Closures created in this caller's
+      // lineage satisfy the check; closures that arrived through merged
+      // flows (the escape pool, merged variable sets) may not.
+      std::set<regions::RegionVarId> Formals;
+      if (const auto *Callee = dyn_cast<RLetrecExpr>(Cl.Fun))
+        Formals.insert(Callee->formals().begin(),
+                       Callee->formals().end());
+      bool Aligned = true;
+      for (const auto &[Var, C] : CA.envs().get(Cl.Env)) {
+        if (Formals.count(Var))
+          continue;
+        if (CA.envs().maps(Env, Var) &&
+            CA.envs().colorOf(Env, Var) != C) {
+          Aligned = false;
+          break;
+        }
+      }
+
+      if (Aligned) {
+        // Equate caller and callee states over B on entry and exit.
+        for (Color C : CalleeB) {
+          auto FAIt = FA.find(C);
+          auto BInIt = BIn.find(C);
+          if (FAIt != FA.end() && BInIt != BIn.end())
+            sys().addEq(FAIt->second, BInIt->second);
+          auto ROutIt = Result.find(C);
+          auto BOutIt = BOut.find(C);
+          if (ROutIt != Result.end() && BOutIt != BOut.end())
+            sys().addEq(ROutIt->second, BOutIt->second);
+        }
+        BAll.insert(CalleeB.begin(), CalleeB.end());
+      } else {
+        // Conservative fallback: pin every region the call touches
+        // allocated across the call, on both sides — by *name* on the
+        // caller side, so the obligation reaches the caller's own
+        // allocation chain regardless of color numbering.
+        ++Out.NumPinnedCalls;
+        for (regions::RegionVarId V : CalleeLatent) {
+          if (CA.envs().maps(Env, V)) {
+            Color C = CA.envs().colorOf(Env, V);
+            auto FAIt = FA.find(C);
+            if (FAIt != FA.end())
+              sys().restrictState(FAIt->second, StA);
+            auto RIt = Result.find(C);
+            if (RIt != Result.end())
+              sys().restrictState(RIt->second, StA);
+            // The caller may not change this region's state across the
+            // call (the callee assumes it allocated throughout).
+            BAll.insert(C);
+          }
+        }
+        for (Color C : CallerB) {
+          auto FAIt = FA.find(C);
+          if (FAIt != FA.end())
+            sys().restrictState(FAIt->second, StA);
+          auto RIt = Result.find(C);
+          if (RIt != Result.end())
+            sys().restrictState(RIt->second, StA);
+          BAll.insert(C);
+        }
+        for (Color C : CalleeB) {
+          auto BInIt = BIn.find(C);
+          if (BInIt != BIn.end())
+            sys().restrictState(BInIt->second, StA);
+          auto BOutIt = BOut.find(C);
+          if (BOutIt != BOut.end())
+            sys().restrictState(BOutIt->second, StA);
+        }
+      }
+    }
+
+    // Set C: caller regions untouched by the call pass through
+    // state-polymorphically. (With no known closures — dead code — all
+    // colors pass through.)
+    for (Color C : MyColors) {
+      if (BAll.count(C) && CallerB.count(C))
+        continue;
+      auto FAIt = FA.find(C);
+      if (FAIt != FA.end())
+        sys().addEq(FAIt->second, Result.at(C));
+    }
+    return Result;
+  }
+
+  const RegionProgram &Prog;
+  closure::ClosureAnalysis &CA;
+  const GenOptions &Options;
+  GenResult &Out;
+  std::map<std::pair<RNodeId, RegEnvId>, std::pair<VecMap, VecMap>> CtxCache;
+  std::map<std::tuple<RNodeId, COpKind, RegionVarId>, BoolVarId> BoolIndex;
+};
+
+} // namespace
+
+GenResult constraints::generateConstraints(const RegionProgram &Prog,
+                                           closure::ClosureAnalysis &CA,
+                                           const GenOptions &Options) {
+  GenResult Out;
+  Generator G(Prog, CA, Options, Out);
+  G.run();
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Debug rendering and statistics for constraint systems: per-kind
+/// counts, choice-point breakdowns, and a full textual dump in the
+/// paper's notation ((s1, c, s2)a triples, s = A constraints, s1 = s2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_CONSTRAINTS_CONSTRAINTPRINTER_H
+#define AFL_CONSTRAINTS_CONSTRAINTPRINTER_H
+
+#include "constraints/ConstraintGen.h"
+
+#include <string>
+
+namespace afl {
+namespace constraints {
+
+/// Per-kind breakdown of a generated system.
+struct SystemStats {
+  size_t StateVars = 0;
+  size_t BoolVars = 0;
+  size_t Equalities = 0;
+  size_t AllocTriples = 0;
+  size_t DeallocTriples = 0;
+  size_t RestrictedStates = 0; ///< states with initial domain != {U,A,D}
+  size_t AllocBeforeChoices = 0;
+  size_t FreeAfterChoices = 0;
+  size_t FreeAppChoices = 0;
+};
+
+/// Computes the breakdown for \p Gen.
+SystemStats systemStats(const GenResult &Gen);
+
+/// One-line summary, e.g. "1423 states, 210 bools, 890 eq, ...".
+std::string summarize(const GenResult &Gen);
+
+/// Full dump (one constraint per line); intended for small systems.
+std::string dumpSystem(const GenResult &Gen);
+
+} // namespace constraints
+} // namespace afl
+
+#endif // AFL_CONSTRAINTS_CONSTRAINTPRINTER_H

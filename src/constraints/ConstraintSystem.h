@@ -1,0 +1,113 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constraint language of paper §4.1. Each *state variable* ranges
+/// over the region states {U, A, D} (unallocated / allocated /
+/// deallocated); each *boolean variable* encodes whether a potential
+/// allocation or deallocation point is realized. Constraints:
+///
+///   * equality          s1 = s2
+///   * allocation        s = A                  (region accessed here)
+///   * allocation triple (s1, b, s2)_a :  b → (s1 = U ∧ s2 = A),
+///                                       ¬b → s1 = s2
+///   * deallocation triple (s1, b, s2)_d: b → (s1 = A ∧ s2 = D),
+///                                       ¬b → s1 = s2
+///
+/// Domains are bitmasks; the solver performs arc-consistency style
+/// propagation over them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_CONSTRAINTS_CONSTRAINTSYSTEM_H
+#define AFL_CONSTRAINTS_CONSTRAINTSYSTEM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace afl {
+namespace constraints {
+
+using StateVarId = uint32_t;
+using BoolVarId = uint32_t;
+
+/// State domain bits.
+enum : uint8_t {
+  StU = 1,
+  StA = 2,
+  StD = 4,
+  StAny = StU | StA | StD,
+};
+
+/// Boolean domain bits.
+enum : uint8_t {
+  BFalse = 1,
+  BTrue = 2,
+  BAny = BFalse | BTrue,
+};
+
+/// A constraint over state/boolean variables.
+struct Constraint {
+  enum class Kind : uint8_t { Eq, AllocTriple, DeallocTriple };
+  Kind K;
+  StateVarId S1 = 0;
+  StateVarId S2 = 0;
+  BoolVarId B = 0; // triples only
+};
+
+/// Variable store + constraint list + occurrence lists.
+class ConstraintSystem {
+public:
+  StateVarId newState(uint8_t Domain = StAny) {
+    StateDom.push_back(Domain);
+    StateOcc.emplace_back();
+    return static_cast<StateVarId>(StateDom.size() - 1);
+  }
+
+  BoolVarId newBool() {
+    BoolDom.push_back(BAny);
+    BoolOcc.emplace_back();
+    return static_cast<BoolVarId>(BoolDom.size() - 1);
+  }
+
+  void addEq(StateVarId S1, StateVarId S2) {
+    if (S1 == S2)
+      return;
+    addConstraint({Constraint::Kind::Eq, S1, S2, 0});
+  }
+  void addAllocTriple(StateVarId S1, BoolVarId B, StateVarId S2) {
+    addConstraint({Constraint::Kind::AllocTriple, S1, S2, B});
+  }
+  void addDeallocTriple(StateVarId S1, BoolVarId B, StateVarId S2) {
+    addConstraint({Constraint::Kind::DeallocTriple, S1, S2, B});
+  }
+
+  /// Initial domain restriction (e.g. "this state is A": mask StA).
+  void restrictState(StateVarId S, uint8_t Mask) { StateDom[S] &= Mask; }
+
+  size_t numStateVars() const { return StateDom.size(); }
+  size_t numBoolVars() const { return BoolDom.size(); }
+  size_t numConstraints() const { return Cons.size(); }
+
+  // Solver access.
+  std::vector<uint8_t> StateDom;
+  std::vector<uint8_t> BoolDom;
+  std::vector<Constraint> Cons;
+  std::vector<std::vector<uint32_t>> StateOcc; // state var -> constraints
+  std::vector<std::vector<uint32_t>> BoolOcc;  // bool var -> constraints
+
+private:
+  void addConstraint(Constraint C) {
+    uint32_t Idx = static_cast<uint32_t>(Cons.size());
+    Cons.push_back(C);
+    StateOcc[C.S1].push_back(Idx);
+    StateOcc[C.S2].push_back(Idx);
+    if (C.K != Constraint::Kind::Eq)
+      BoolOcc[C.B].push_back(Idx);
+  }
+};
+
+} // namespace constraints
+} // namespace afl
+
+#endif // AFL_CONSTRAINTS_CONSTRAINTSYSTEM_H

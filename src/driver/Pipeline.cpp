@@ -1,0 +1,71 @@
+#include "driver/Pipeline.h"
+
+#include "completion/Conservative.h"
+#include "parser/Parser.h"
+#include "regions/RegionInference.h"
+#include "regions/RegionPrinter.h"
+
+using namespace afl;
+using namespace afl::driver;
+
+std::string PipelineResult::printConservative() const {
+  if (!Prog)
+    return "";
+  return regions::printRegionProgram(*Prog, &ConservativeC);
+}
+
+std::string PipelineResult::printAfl() const {
+  if (!Prog)
+    return "";
+  return regions::printRegionProgram(*Prog, &AflC);
+}
+
+PipelineResult driver::runPipeline(std::string_view Source,
+                                   const PipelineOptions &Options) {
+  PipelineResult R;
+  R.Ctx = std::make_unique<ast::ASTContext>();
+
+  R.Ast = parseExpr(Source, *R.Ctx, R.Diags);
+  if (!R.Ast)
+    return R;
+
+  types::TypedProgram Typed = types::inferTypes(R.Ast, *R.Ctx, R.Diags);
+  if (!Typed.Success)
+    return R;
+
+  R.Prog = regions::inferRegions(R.Ast, *R.Ctx, Typed, R.Diags);
+  if (!R.Prog)
+    return R;
+
+  R.ConservativeC = completion::conservativeCompletion(*R.Prog);
+  R.AflC = completion::aflCompletion(*R.Prog, &R.Analysis,
+                                     Options.GenOptions);
+
+  if (!Options.SkipRuns) {
+    interp::RunOptions RO;
+    RO.RecordTrace = Options.RecordTrace;
+    RO.MaxSteps = Options.MaxSteps;
+    R.Conservative = interp::run(*R.Prog, R.ConservativeC, RO);
+    if (!R.Conservative.Ok) {
+      R.Diags.error(SourceLoc(),
+                    "conservative run failed: " + R.Conservative.Error);
+      return R;
+    }
+    R.Afl = interp::run(*R.Prog, R.AflC, RO);
+    if (!R.Afl.Ok) {
+      R.Diags.error(SourceLoc(), "A-F-L run failed: " + R.Afl.Error);
+      return R;
+    }
+    if (!Options.SkipReference) {
+      R.Reference = interp::runRef(R.Ast, *R.Ctx, Options.MaxSteps);
+      if (!R.Reference.Ok) {
+        R.Diags.error(SourceLoc(),
+                      "reference run failed: " + R.Reference.Error);
+        return R;
+      }
+    }
+  }
+
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public pipeline facade: source text → parse → ML types → T-T
+/// region inference → {conservative, A-F-L} completions → instrumented
+/// runs. This is the API examples, tests and benchmarks use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_DRIVER_PIPELINE_H
+#define AFL_DRIVER_PIPELINE_H
+
+#include "ast/ASTContext.h"
+#include "completion/AflCompletion.h"
+#include "interp/Interp.h"
+#include "interp/RefInterp.h"
+#include "regions/Completion.h"
+#include "regions/RegionProgram.h"
+#include "support/Diagnostics.h"
+#include "types/TypeInference.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace afl {
+namespace driver {
+
+struct PipelineOptions {
+  /// Record memory-over-time traces in both runs (Figures 5-8).
+  bool RecordTrace = false;
+  /// Step limit for each instrumented run.
+  uint64_t MaxSteps = 200'000'000;
+  /// Skip the two instrumented runs (analysis only).
+  bool SkipRuns = false;
+  /// Skip the reference (oracle) run.
+  bool SkipReference = false;
+  /// Choice-point generation switches (ablations).
+  constraints::GenOptions GenOptions;
+};
+
+/// Everything the pipeline produced. Check ok() before using the later
+/// stages; Diags explains failures.
+struct PipelineResult {
+  DiagnosticEngine Diags;
+  std::unique_ptr<ast::ASTContext> Ctx;
+  const ast::Expr *Ast = nullptr;
+  std::unique_ptr<regions::RegionProgram> Prog;
+  regions::Completion ConservativeC;
+  regions::Completion AflC;
+  completion::AflStats Analysis;
+  interp::RunResult Conservative; ///< the T-T baseline run
+  interp::RunResult Afl;          ///< the A-F-L run
+  interp::RefResult Reference;    ///< oracle value
+
+  /// True if all requested stages succeeded.
+  bool ok() const { return Ok; }
+  bool Ok = false;
+
+  /// Pretty-prints the region program with the conservative completion.
+  std::string printConservative() const;
+  /// Pretty-prints the region program with the A-F-L completion.
+  std::string printAfl() const;
+};
+
+/// Runs the full pipeline on \p Source.
+PipelineResult runPipeline(std::string_view Source,
+                           const PipelineOptions &Options = PipelineOptions());
+
+} // namespace driver
+} // namespace afl
+
+#endif // AFL_DRIVER_PIPELINE_H

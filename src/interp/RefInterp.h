@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain (region-oblivious, garbage-collected-by-shared_ptr) reference
+/// interpreter for the surface language. Used as the differential-testing
+/// oracle: a completed region program must compute the same value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_INTERP_REFINTERP_H
+#define AFL_INTERP_REFINTERP_H
+
+#include <cstdint>
+#include <string>
+
+namespace afl {
+namespace ast {
+class ASTContext;
+class Expr;
+} // namespace ast
+
+namespace interp {
+
+struct RefResult {
+  bool Ok = false;
+  std::string Error;
+  /// Rendered value in the same format as interp::run.
+  std::string ResultText;
+};
+
+/// Evaluates surface expression \p Root directly. \p MaxSteps bounds the
+/// number of evaluation steps.
+RefResult runRef(const ast::Expr *Root, const ast::ASTContext &Ctx,
+                 uint64_t MaxSteps = 200'000'000);
+
+} // namespace interp
+} // namespace afl
+
+#endif // AFL_INTERP_REFINTERP_H

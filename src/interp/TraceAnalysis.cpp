@@ -1,0 +1,22 @@
+#include "interp/TraceAnalysis.h"
+
+using namespace afl;
+using namespace afl::interp;
+
+TraceSummary interp::summarizeTrace(const std::vector<TracePoint> &Trace) {
+  TraceSummary S;
+  if (Trace.empty())
+    return S;
+  for (const TracePoint &P : Trace) {
+    if (P.ValuesHeld > S.Peak) {
+      S.Peak = P.ValuesHeld;
+      S.PeakTime = P.Time;
+    }
+    S.SpaceTime += P.ValuesHeld;
+  }
+  S.Final = Trace.back().ValuesHeld;
+  S.Duration = Trace.back().Time;
+  S.Mean = static_cast<double>(S.SpaceTime) /
+           static_cast<double>(Trace.size());
+  return S;
+}

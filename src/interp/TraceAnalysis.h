@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics over memory-over-time traces: peak, average, and
+/// the space-time product (the integral of residency over the memory-
+/// operation time axis — the standard "how much memory for how long"
+/// metric in the region-based memory management literature).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_INTERP_TRACEANALYSIS_H
+#define AFL_INTERP_TRACEANALYSIS_H
+
+#include "interp/Interp.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace afl {
+namespace interp {
+
+struct TraceSummary {
+  /// Peak residency (values held).
+  uint64_t Peak = 0;
+  /// Time of the first peak.
+  uint64_t PeakTime = 0;
+  /// Space-time product: Σ values-held over each unit time step.
+  uint64_t SpaceTime = 0;
+  /// Mean residency (SpaceTime / duration).
+  double Mean = 0.0;
+  /// Final residency.
+  uint64_t Final = 0;
+  /// Trace duration (memory operations).
+  uint64_t Duration = 0;
+};
+
+/// Summarizes \p Trace (one point per memory operation, as produced by
+/// RunOptions::RecordTrace).
+TraceSummary summarizeTrace(const std::vector<TracePoint> &Trace);
+
+} // namespace interp
+} // namespace afl
+
+#endif // AFL_INTERP_TRACEANALYSIS_H

@@ -1,0 +1,244 @@
+#include "lexer/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace afl;
+
+const char *afl::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::IntLit:
+    return "integer literal";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwLetrec:
+    return "'letrec'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwNil:
+    return "'nil'";
+  case TokenKind::KwDiv:
+    return "'div'";
+  case TokenKind::KwMod:
+    return "'mod'";
+  case TokenKind::KwFst:
+    return "'fst'";
+  case TokenKind::KwSnd:
+    return "'snd'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwHd:
+    return "'hd'";
+  case TokenKind::KwTl:
+    return "'tl'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::DArrow:
+    return "'=>'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::ColCol:
+    return "'::'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  }
+  return "token";
+}
+
+static TokenKind keywordKind(std::string_view Text) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"fn", TokenKind::KwFn},       {"let", TokenKind::KwLet},
+      {"letrec", TokenKind::KwLetrec}, {"in", TokenKind::KwIn},
+      {"end", TokenKind::KwEnd},     {"if", TokenKind::KwIf},
+      {"then", TokenKind::KwThen},   {"else", TokenKind::KwElse},
+      {"true", TokenKind::KwTrue},   {"false", TokenKind::KwFalse},
+      {"nil", TokenKind::KwNil},     {"div", TokenKind::KwDiv},
+      {"mod", TokenKind::KwMod},     {"fst", TokenKind::KwFst},
+      {"snd", TokenKind::KwSnd},     {"null", TokenKind::KwNull},
+      {"hd", TokenKind::KwHd},       {"tl", TokenKind::KwTl},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokenKind::Ident : It->second;
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {
+  lexAll();
+}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advancing past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '(' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      unsigned Depth = 1;
+      while (Depth != 0) {
+        if (atEnd()) {
+          Diags.error(Start, "unterminated comment");
+          return;
+        }
+        if (peek() == '(' && peek(1) == '*') {
+          advance();
+          advance();
+          ++Depth;
+        } else if (peek() == '*' && peek(1) == ')') {
+          advance();
+          advance();
+          --Depth;
+        } else {
+          advance();
+        }
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  Token Tok;
+  Tok.Loc = here();
+  if (atEnd()) {
+    Tok.Kind = TokenKind::Eof;
+    return Tok;
+  }
+
+  size_t Start = Pos;
+  char C = advance();
+
+  auto finish = [&](TokenKind Kind) {
+    Tok.Kind = Kind;
+    Tok.Text = Source.substr(Start, Pos - Start);
+    return Tok;
+  };
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    finish(TokenKind::IntLit);
+    int64_t Value = 0;
+    bool Overflow = false;
+    for (char D : Tok.Text) {
+      if (Value > (INT64_MAX - (D - '0')) / 10) {
+        Overflow = true;
+        break;
+      }
+      Value = Value * 10 + (D - '0');
+    }
+    if (Overflow) {
+      Diags.error(Tok.Loc, "integer literal too large");
+      Tok.Kind = TokenKind::Error;
+    }
+    Tok.IntValue = Value;
+    return Tok;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+           peek() == '\'')
+      advance();
+    finish(TokenKind::Ident);
+    Tok.Kind = keywordKind(Tok.Text);
+    return Tok;
+  }
+
+  switch (C) {
+  case '(':
+    return finish(TokenKind::LParen);
+  case ')':
+    return finish(TokenKind::RParen);
+  case ',':
+    return finish(TokenKind::Comma);
+  case '+':
+    return finish(TokenKind::Plus);
+  case '-':
+    return finish(TokenKind::Minus);
+  case '*':
+    return finish(TokenKind::Star);
+  case '=':
+    if (peek() == '>') {
+      advance();
+      return finish(TokenKind::DArrow);
+    }
+    return finish(TokenKind::Equal);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return finish(TokenKind::LessEq);
+    }
+    return finish(TokenKind::Less);
+  case ':':
+    if (peek() == ':') {
+      advance();
+      return finish(TokenKind::ColCol);
+    }
+    break;
+  default:
+    break;
+  }
+
+  Diags.error(Tok.Loc, std::string("unexpected character '") + C + "'");
+  return finish(TokenKind::Error);
+}
+
+void Lexer::lexAll() {
+  for (;;) {
+    Token Tok = lexToken();
+    Tokens.push_back(Tok);
+    if (Tok.is(TokenKind::Eof))
+      return;
+  }
+}

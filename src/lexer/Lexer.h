@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the ML-like surface language. Supports ML-style
+/// nested comments "(* ... *)" and tracks line/column positions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_LEXER_LEXER_H
+#define AFL_LEXER_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afl {
+
+/// Token kinds. Keywords get dedicated kinds; operators are punctuation.
+enum class TokenKind {
+  Eof,
+  Error,
+  IntLit,   // 42
+  Ident,    // x, foo
+  KwFn,     // fn
+  KwLet,    // let
+  KwLetrec, // letrec
+  KwIn,     // in
+  KwEnd,    // end
+  KwIf,     // if
+  KwThen,   // then
+  KwElse,   // else
+  KwTrue,   // true
+  KwFalse,  // false
+  KwNil,    // nil
+  KwDiv,    // div
+  KwMod,    // mod
+  KwFst,    // fst
+  KwSnd,    // snd
+  KwNull,   // null
+  KwHd,     // hd
+  KwTl,     // tl
+  LParen,   // (
+  RParen,   // )
+  Comma,    // ,
+  DArrow,   // =>
+  Equal,    // =
+  ColCol,   // ::
+  Plus,     // +
+  Minus,    // -
+  Star,     // *
+  Less,     // <
+  LessEq,   // <=
+};
+
+/// Returns a human-readable name for \p Kind (used in parse errors).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. \c Text views into the original source buffer.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text;
+  int64_t IntValue = 0; // valid iff Kind == IntLit
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Lexes a full buffer up front; parsing then indexes into the token list.
+class Lexer {
+public:
+  /// Lexes \p Source completely. Lexical errors are reported to \p Diags
+  /// and produce Error tokens.
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// All tokens, ending with exactly one Eof token.
+  const std::vector<Token> &tokens() const { return Tokens; }
+
+private:
+  void lexAll();
+  Token lexToken();
+  void skipWhitespaceAndComments();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc here() const { return SourceLoc(Line, Col); }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace afl
+
+#endif // AFL_LEXER_LEXER_H

@@ -1,0 +1,388 @@
+#include "parser/Parser.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+using namespace afl;
+using namespace afl::ast;
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::vector<Token> &Tokens, ASTContext &Ctx,
+         DiagnosticEngine &Diags)
+      : Tokens(Tokens), Ctx(Ctx), Diags(Diags) {}
+
+  /// Parses a full expression and requires EOF afterwards.
+  const Expr *parseProgram() {
+    const Expr *E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!cur().is(TokenKind::Eof)) {
+      error("expected end of input, found " + std::string(curName()));
+      return nullptr;
+    }
+    return E;
+  }
+
+private:
+  const Token &cur() const { return Tokens[Pos]; }
+  const char *curName() const { return tokenKindName(cur().Kind); }
+  SourceLoc loc() const { return cur().Loc; }
+
+  const Token &take() {
+    const Token &Tok = Tokens[Pos];
+    if (!Tok.is(TokenKind::Eof))
+      ++Pos;
+    return Tok;
+  }
+
+  bool accept(TokenKind Kind) {
+    if (!cur().is(Kind))
+      return false;
+    take();
+    return true;
+  }
+
+  bool expect(TokenKind Kind) {
+    if (accept(Kind))
+      return true;
+    error(std::string("expected ") + tokenKindName(Kind) + ", found " +
+          curName());
+    return false;
+  }
+
+  void error(std::string Message) { Diags.error(loc(), std::move(Message)); }
+
+  /// Parses an identifier token into a symbol; returns invalid on error.
+  Symbol parseIdent() {
+    if (!cur().is(TokenKind::Ident)) {
+      error(std::string("expected identifier, found ") + curName());
+      return Symbol();
+    }
+    return Ctx.intern(take().Text);
+  }
+
+  /// A binder: either a plain identifier or a pair pattern "(x, y)"
+  /// (possibly nested). Patterns are desugared: the binder becomes a
+  /// fresh variable and \c wrap adds fst/snd projections around a body.
+  struct Binder {
+    Symbol Var;
+    /// Wraps \p Body with the pattern's projection lets (identity for a
+    /// plain identifier binder).
+    std::function<const Expr *(const Expr *)> Wrap;
+    bool Valid = false;
+  };
+
+  Binder parseBinder() {
+    Binder Out;
+    if (cur().is(TokenKind::Ident)) {
+      Out.Var = Ctx.intern(take().Text);
+      Out.Wrap = [](const Expr *Body) { return Body; };
+      Out.Valid = true;
+      return Out;
+    }
+    if (!cur().is(TokenKind::LParen)) {
+      error(std::string("expected identifier or pair pattern, found ") +
+            curName());
+      return Out;
+    }
+    SourceLoc Loc = take().Loc;
+    Binder First = parseBinder();
+    if (!First.Valid || !expect(TokenKind::Comma))
+      return Out;
+    Binder Second = parseBinder();
+    if (!Second.Valid || !expect(TokenKind::RParen))
+      return Out;
+    Symbol Fresh = Ctx.intern("$p" + std::to_string(FreshCounter++));
+    Out.Var = Fresh;
+    Out.Wrap = [this, Loc, Fresh, First, Second](const Expr *Body) {
+      // let <second> = snd $p in ... innermost; build inside-out.
+      const Expr *Inner = Second.Wrap(First.Wrap(Body));
+      Inner = Ctx.let(Second.Var,
+                      Ctx.unOp(ast::UnOpKind::Snd, Ctx.var(Fresh, Loc), Loc),
+                      Inner, Loc);
+      return Ctx.let(First.Var,
+                     Ctx.unOp(ast::UnOpKind::Fst, Ctx.var(Fresh, Loc), Loc),
+                     Inner, Loc);
+    };
+    Out.Valid = true;
+    return Out;
+  }
+
+  const Expr *parseExpr() {
+    switch (cur().Kind) {
+    case TokenKind::KwFn: {
+      SourceLoc Loc = take().Loc;
+      Binder Param = parseBinder();
+      if (!Param.Valid || !expect(TokenKind::DArrow))
+        return nullptr;
+      const Expr *Body = parseExpr();
+      if (!Body)
+        return nullptr;
+      return Ctx.lambda(Param.Var, Param.Wrap(Body), Loc);
+    }
+    case TokenKind::KwLet: {
+      SourceLoc Loc = take().Loc;
+      Binder Name = parseBinder();
+      if (!Name.Valid || !expect(TokenKind::Equal))
+        return nullptr;
+      const Expr *Init = parseExpr();
+      if (!Init || !expect(TokenKind::KwIn))
+        return nullptr;
+      const Expr *Body = parseExpr();
+      if (!Body || !expect(TokenKind::KwEnd))
+        return nullptr;
+      return Ctx.let(Name.Var, Init, Name.Wrap(Body), Loc);
+    }
+    case TokenKind::KwLetrec: {
+      SourceLoc Loc = take().Loc;
+      Symbol FnName = parseIdent();
+      if (!FnName.isValid())
+        return nullptr;
+      Binder Param = parseBinder();
+      if (!Param.Valid || !expect(TokenKind::Equal))
+        return nullptr;
+      const Expr *FnBody = parseExpr();
+      if (!FnBody || !expect(TokenKind::KwIn))
+        return nullptr;
+      const Expr *Body = parseExpr();
+      if (!Body || !expect(TokenKind::KwEnd))
+        return nullptr;
+      return Ctx.letrec(FnName, Param.Var, Param.Wrap(FnBody), Body, Loc);
+    }
+    case TokenKind::KwIf: {
+      SourceLoc Loc = take().Loc;
+      const Expr *Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::KwThen))
+        return nullptr;
+      const Expr *Then = parseExpr();
+      if (!Then || !expect(TokenKind::KwElse))
+        return nullptr;
+      const Expr *Else = parseExpr();
+      if (!Else)
+        return nullptr;
+      return Ctx.ifExpr(Cond, Then, Else, Loc);
+    }
+    default:
+      return parseCmp();
+    }
+  }
+
+  const Expr *parseCmp() {
+    const Expr *Lhs = parseCons();
+    if (!Lhs)
+      return nullptr;
+    BinOpKind Op;
+    switch (cur().Kind) {
+    case TokenKind::Less:
+      Op = BinOpKind::Lt;
+      break;
+    case TokenKind::LessEq:
+      Op = BinOpKind::Le;
+      break;
+    case TokenKind::Equal:
+      Op = BinOpKind::Eq;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = take().Loc;
+    const Expr *Rhs = parseCons();
+    if (!Rhs)
+      return nullptr;
+    return Ctx.binOp(Op, Lhs, Rhs, Loc);
+  }
+
+  const Expr *parseCons() {
+    const Expr *Head = parseAdd();
+    if (!Head)
+      return nullptr;
+    if (!cur().is(TokenKind::ColCol))
+      return Head;
+    SourceLoc Loc = take().Loc;
+    const Expr *Tail = parseCons(); // right associative
+    if (!Tail)
+      return nullptr;
+    return Ctx.cons(Head, Tail, Loc);
+  }
+
+  const Expr *parseAdd() {
+    const Expr *Lhs = parseMul();
+    if (!Lhs)
+      return nullptr;
+    for (;;) {
+      BinOpKind Op;
+      if (cur().is(TokenKind::Plus))
+        Op = BinOpKind::Add;
+      else if (cur().is(TokenKind::Minus))
+        Op = BinOpKind::Sub;
+      else
+        return Lhs;
+      SourceLoc Loc = take().Loc;
+      const Expr *Rhs = parseMul();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Ctx.binOp(Op, Lhs, Rhs, Loc);
+    }
+  }
+
+  const Expr *parseMul() {
+    const Expr *Lhs = parseUn();
+    if (!Lhs)
+      return nullptr;
+    for (;;) {
+      BinOpKind Op;
+      if (cur().is(TokenKind::Star))
+        Op = BinOpKind::Mul;
+      else if (cur().is(TokenKind::KwDiv))
+        Op = BinOpKind::Div;
+      else if (cur().is(TokenKind::KwMod))
+        Op = BinOpKind::Mod;
+      else
+        return Lhs;
+      SourceLoc Loc = take().Loc;
+      const Expr *Rhs = parseUn();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Ctx.binOp(Op, Lhs, Rhs, Loc);
+    }
+  }
+
+  const Expr *parseUn() {
+    UnOpKind Op;
+    switch (cur().Kind) {
+    case TokenKind::KwFst:
+      Op = UnOpKind::Fst;
+      break;
+    case TokenKind::KwSnd:
+      Op = UnOpKind::Snd;
+      break;
+    case TokenKind::KwNull:
+      Op = UnOpKind::Null;
+      break;
+    case TokenKind::KwHd:
+      Op = UnOpKind::Hd;
+      break;
+    case TokenKind::KwTl:
+      Op = UnOpKind::Tl;
+      break;
+    default:
+      return parseApp();
+    }
+    SourceLoc Loc = take().Loc;
+    const Expr *Operand = parseUn();
+    if (!Operand)
+      return nullptr;
+    return Ctx.unOp(Op, Operand, Loc);
+  }
+
+  /// True if the current token can begin an application-continuation atom.
+  /// Unary minus is deliberately excluded so "f - 1" stays a subtraction.
+  bool atAtomStart() const {
+    switch (cur().Kind) {
+    case TokenKind::IntLit:
+    case TokenKind::Ident:
+    case TokenKind::KwTrue:
+    case TokenKind::KwFalse:
+    case TokenKind::KwNil:
+    case TokenKind::LParen:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  const Expr *parseApp() {
+    const Expr *Fn = parseAtom();
+    if (!Fn)
+      return nullptr;
+    while (atAtomStart()) {
+      SourceLoc Loc = loc();
+      const Expr *Arg = parseAtom();
+      if (!Arg)
+        return nullptr;
+      Fn = Ctx.app(Fn, Arg, Loc);
+    }
+    return Fn;
+  }
+
+  const Expr *parseAtom() {
+    switch (cur().Kind) {
+    case TokenKind::IntLit: {
+      const Token &Tok = take();
+      return Ctx.intLit(Tok.IntValue, Tok.Loc);
+    }
+    case TokenKind::Minus: {
+      // Negative integer literal; only valid immediately before a number.
+      SourceLoc Loc = take().Loc;
+      if (!cur().is(TokenKind::IntLit)) {
+        error("expected integer literal after unary '-'");
+        return nullptr;
+      }
+      const Token &Tok = take();
+      return Ctx.intLit(-Tok.IntValue, Loc);
+    }
+    case TokenKind::KwTrue:
+      return Ctx.boolLit(true, take().Loc);
+    case TokenKind::KwFalse:
+      return Ctx.boolLit(false, take().Loc);
+    case TokenKind::KwNil:
+      return Ctx.nil(take().Loc);
+    case TokenKind::Ident: {
+      const Token &Tok = take();
+      return Ctx.var(Ctx.intern(Tok.Text), Tok.Loc);
+    }
+    case TokenKind::LParen: {
+      SourceLoc Loc = take().Loc;
+      if (accept(TokenKind::RParen))
+        return Ctx.unitLit(Loc);
+      const Expr *First = parseExpr();
+      if (!First)
+        return nullptr;
+      if (accept(TokenKind::Comma)) {
+        const Expr *Second = parseExpr();
+        if (!Second || !expect(TokenKind::RParen))
+          return nullptr;
+        return Ctx.pair(First, Second, Loc);
+      }
+      if (!expect(TokenKind::RParen))
+        return nullptr;
+      return First;
+    }
+    default:
+      error(std::string("expected expression, found ") + curName());
+      return nullptr;
+    }
+  }
+
+  const std::vector<Token> &Tokens;
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned FreshCounter = 0;
+};
+
+} // namespace
+
+const Expr *afl::parseExpr(std::string_view Source, ASTContext &Ctx,
+                           DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(Lex.tokens(), Ctx, Diags);
+  return P.parseProgram();
+}
+
+const Expr *afl::parseExprOrDie(std::string_view Source, ASTContext &Ctx) {
+  DiagnosticEngine Diags;
+  const Expr *E = parseExpr(Source, Ctx, Diags);
+  if (!E) {
+    std::fprintf(stderr, "parseExprOrDie failed:\n%s\n", Diags.str().c_str());
+    std::abort();
+  }
+  return E;
+}

@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the ML-like surface language.
+///
+/// Grammar (highest section binds loosest):
+/// \code
+///   expr     := 'fn' binder '=>' expr
+///             | 'let' binder '=' expr 'in' expr 'end'
+///             | 'letrec' id binder '=' expr 'in' expr 'end'
+///             | 'if' expr 'then' expr 'else' expr
+///             | cmpExpr
+///   binder   := id | '(' binder ',' binder ')'   -- pattern sugar
+///   cmpExpr  := consExpr (('<' | '<=' | '=') consExpr)?
+///   consExpr := addExpr ('::' consExpr)?                  -- right assoc
+///   addExpr  := mulExpr (('+' | '-') mulExpr)*
+///   mulExpr  := unExpr (('*' | 'div' | 'mod') unExpr)*
+///   unExpr   := ('fst'|'snd'|'null'|'hd'|'tl') unExpr | appExpr
+///   appExpr  := atom atom*                                -- left assoc
+///   atom     := int | '-' int | 'true' | 'false' | 'nil' | id
+///             | '(' ')' | '(' expr ')' | '(' expr ',' expr ')'
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_PARSER_PARSER_H
+#define AFL_PARSER_PARSER_H
+
+#include "ast/ASTContext.h"
+#include "lexer/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace afl {
+
+/// Parses \p Source into an expression owned by \p Ctx. Returns nullptr and
+/// reports to \p Diags on a syntax error.
+const ast::Expr *parseExpr(std::string_view Source, ast::ASTContext &Ctx,
+                           DiagnosticEngine &Diags);
+
+/// Like parseExpr, but asserts success; for tests and builtin programs that
+/// are known to be well-formed.
+const ast::Expr *parseExprOrDie(std::string_view Source, ast::ASTContext &Ctx);
+
+} // namespace afl
+
+#endif // AFL_PARSER_PARSER_H

@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Completions: explicit region allocation/deallocation operations
+/// attached to program points (paper §2). A completion maps IR nodes to
+/// ordered operation lists:
+///   * Pre ops run after the node's letregion bindings but before the node
+///     evaluates (`alloc_before` / `free_before`);
+///   * Post ops run right after the node's value is produced
+///     (`alloc_after` / `free_after`);
+///   * FreeApp ops (applications only) run after both the function and the
+///     argument are evaluated and the closure has been fetched, but before
+///     the function body runs (`free_app`, §1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_REGIONS_COMPLETION_H
+#define AFL_REGIONS_COMPLETION_H
+
+#include "regions/RegionExpr.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace afl {
+namespace regions {
+
+/// Kind of a completion operation.
+enum class COpKind : uint8_t {
+  AllocBefore,
+  FreeBefore,
+  AllocAfter,
+  FreeAfter,
+  FreeApp,
+};
+
+/// Returns "alloc_before" etc.
+const char *spelling(COpKind Kind);
+
+/// One completion operation on one region.
+struct COp {
+  COpKind Kind;
+  RegionVarId Region;
+
+  friend bool operator==(const COp &A, const COp &B) {
+    return A.Kind == B.Kind && A.Region == B.Region;
+  }
+};
+
+/// A full program completion.
+struct Completion {
+  std::unordered_map<RNodeId, std::vector<COp>> Pre;
+  std::unordered_map<RNodeId, std::vector<COp>> Post;
+  std::unordered_map<RNodeId, std::vector<COp>> FreeApp;
+
+  const std::vector<COp> *preOps(RNodeId Id) const {
+    auto It = Pre.find(Id);
+    return It == Pre.end() ? nullptr : &It->second;
+  }
+  const std::vector<COp> *postOps(RNodeId Id) const {
+    auto It = Post.find(Id);
+    return It == Post.end() ? nullptr : &It->second;
+  }
+  const std::vector<COp> *freeAppOps(RNodeId Id) const {
+    auto It = FreeApp.find(Id);
+    return It == FreeApp.end() ? nullptr : &It->second;
+  }
+
+  size_t numOps() const {
+    size_t N = 0;
+    for (const auto &[Id, Ops] : Pre)
+      N += Ops.size();
+    for (const auto &[Id, Ops] : Post)
+      N += Ops.size();
+    for (const auto &[Id, Ops] : FreeApp)
+      N += Ops.size();
+    return N;
+  }
+};
+
+} // namespace regions
+} // namespace afl
+
+#endif // AFL_REGIONS_COMPLETION_H

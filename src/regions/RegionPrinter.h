@@ -1,0 +1,27 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printer for region-explicit programs in the paper's notation:
+/// letregion scopes, @ρ write annotations, region applications, and
+/// (optionally) the operations of a completion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_REGIONS_REGIONPRINTER_H
+#define AFL_REGIONS_REGIONPRINTER_H
+
+#include <string>
+
+namespace afl {
+namespace regions {
+class RegionProgram;
+struct Completion;
+
+/// Renders \p Prog. If \p C is non-null its operations are shown inline.
+std::string printRegionProgram(const RegionProgram &Prog,
+                               const Completion *C = nullptr);
+
+} // namespace regions
+} // namespace afl
+
+#endif // AFL_REGIONS_REGIONPRINTER_H

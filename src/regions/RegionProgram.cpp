@@ -1,0 +1,65 @@
+#include "regions/RegionProgram.h"
+
+using namespace afl;
+using namespace afl::regions;
+
+namespace {
+
+/// Arena memory is released wholesale, but node members (sets, vectors)
+/// own heap allocations that need their destructors.
+void destroyNode(RExpr *N) {
+  switch (N->kind()) {
+  case RExpr::Kind::Int:
+    static_cast<RIntExpr *>(N)->~RIntExpr();
+    return;
+  case RExpr::Kind::Bool:
+    static_cast<RBoolExpr *>(N)->~RBoolExpr();
+    return;
+  case RExpr::Kind::Unit:
+    static_cast<RUnitExpr *>(N)->~RUnitExpr();
+    return;
+  case RExpr::Kind::Var:
+    static_cast<RVarExpr *>(N)->~RVarExpr();
+    return;
+  case RExpr::Kind::Lambda:
+    static_cast<RLambdaExpr *>(N)->~RLambdaExpr();
+    return;
+  case RExpr::Kind::App:
+    static_cast<RAppExpr *>(N)->~RAppExpr();
+    return;
+  case RExpr::Kind::Let:
+    static_cast<RLetExpr *>(N)->~RLetExpr();
+    return;
+  case RExpr::Kind::Letrec:
+    static_cast<RLetrecExpr *>(N)->~RLetrecExpr();
+    return;
+  case RExpr::Kind::RegApp:
+    static_cast<RRegAppExpr *>(N)->~RRegAppExpr();
+    return;
+  case RExpr::Kind::If:
+    static_cast<RIfExpr *>(N)->~RIfExpr();
+    return;
+  case RExpr::Kind::Pair:
+    static_cast<RPairExpr *>(N)->~RPairExpr();
+    return;
+  case RExpr::Kind::Nil:
+    static_cast<RNilExpr *>(N)->~RNilExpr();
+    return;
+  case RExpr::Kind::Cons:
+    static_cast<RConsExpr *>(N)->~RConsExpr();
+    return;
+  case RExpr::Kind::UnOp:
+    static_cast<RUnOpExpr *>(N)->~RUnOpExpr();
+    return;
+  case RExpr::Kind::BinOp:
+    static_cast<RBinOpExpr *>(N)->~RBinOpExpr();
+    return;
+  }
+}
+
+} // namespace
+
+RegionProgram::~RegionProgram() {
+  for (RExpr *N : nodes())
+    destroyNode(N);
+}

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validator for finalized region programs and completions.
+/// Used by tests and as a debugging aid: catches analysis bugs early
+/// (before they surface as runtime region faults).
+///
+/// Program invariants checked:
+///   * every region variable an expression mentions (writes, reads,
+///     region-application actuals, letregion bindings) is in scope:
+///     a global, bound by an enclosing letregion annotation, or a formal
+///     of the enclosing letrec body;
+///   * region variables are canonical (their own union-find
+///     representative);
+///   * letrec formals are distinct and never shadow in-scope variables;
+///   * region-application actual counts match the callee's formals;
+///   * a node's effect contains its own read/write regions;
+///   * a node's overall effect contains every region its completion
+///     choice points could name (its boundRegions plus ambient effect).
+///
+/// Completion invariants checked:
+///   * operations only name regions that are in scope at their node;
+///   * free_app operations only appear on application nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_REGIONS_VALIDATOR_H
+#define AFL_REGIONS_VALIDATOR_H
+
+#include "regions/Completion.h"
+#include "regions/RegionProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace afl {
+namespace regions {
+
+/// Validates \p Prog; returns human-readable violation descriptions
+/// (empty = valid).
+std::vector<std::string> validateRegionProgram(const RegionProgram &Prog);
+
+/// Validates \p C against \p Prog.
+std::vector<std::string> validateCompletion(const RegionProgram &Prog,
+                                            const Completion &C);
+
+} // namespace regions
+} // namespace afl
+
+#endif // AFL_REGIONS_VALIDATOR_H

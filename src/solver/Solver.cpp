@@ -1,0 +1,276 @@
+#include "solver/Solver.h"
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+using namespace afl;
+using namespace afl::solver;
+using namespace afl::constraints;
+
+namespace {
+
+class SolverImpl {
+public:
+  explicit SolverImpl(const ConstraintSystem &Sys)
+      : Sys(Sys), SD(Sys.StateDom), BD(Sys.BoolDom),
+        InQueue(Sys.Cons.size(), false) {}
+
+  SolveResult run();
+
+private:
+  struct TrailEntry {
+    bool IsBool;
+    uint32_t Id;
+    uint8_t Old;
+  };
+  struct Decision {
+    BoolVarId B;
+    size_t TrailSize;
+    uint8_t FirstTry; // BTrue or BFalse
+    bool Flipped;
+  };
+
+  void noteChange(bool IsBool, uint32_t Id) {
+    // Any domain change can create new border candidates among the
+    // constraints mentioning the variable.
+    const auto &Occ = IsBool ? Sys.BoolOcc[Id] : Sys.StateOcc[Id];
+    for (uint32_t CI : Occ) {
+      const Constraint &C = Sys.Cons[CI];
+      if (C.K == Constraint::Kind::AllocTriple)
+        AllocCand.push_back(CI);
+      else if (C.K == Constraint::Kind::DeallocTriple)
+        DeallocCand.push_back(CI);
+    }
+    if (IsBool && Id < BoolPointer)
+      BoolPointer = Id;
+  }
+
+  void enqueueOcc(bool IsBool, uint32_t Id) {
+    const auto &Occ = IsBool ? Sys.BoolOcc[Id] : Sys.StateOcc[Id];
+    for (uint32_t CI : Occ) {
+      if (!InQueue[CI]) {
+        InQueue[CI] = true;
+        Queue.push_back(CI);
+      }
+    }
+  }
+
+  bool setState(StateVarId S, uint8_t Mask) {
+    uint8_t New = SD[S] & Mask;
+    if (New == SD[S])
+      return true;
+    if (New == 0) {
+      Conflict = true;
+      return false;
+    }
+    Trail.push_back({false, S, SD[S]});
+    SD[S] = New;
+    enqueueOcc(false, S);
+    noteChange(false, S);
+    return true;
+  }
+
+  bool setBool(BoolVarId B, uint8_t Mask) {
+    uint8_t New = BD[B] & Mask;
+    if (New == BD[B])
+      return true;
+    if (New == 0) {
+      Conflict = true;
+      return false;
+    }
+    Trail.push_back({true, B, BD[B]});
+    BD[B] = New;
+    enqueueOcc(true, B);
+    noteChange(true, B);
+    return true;
+  }
+
+  /// Propagates one triple with pre-state \p S1, post-state \p S2, boolean
+  /// \p B; \p From/\p To are the transition states (U→A for allocation,
+  /// A→D for deallocation).
+  bool propagateTriple(StateVarId S1, BoolVarId B, StateVarId S2,
+                       uint8_t From, uint8_t To) {
+    if (BD[B] == BTrue)
+      return setState(S1, From) && setState(S2, To);
+    if (BD[B] == BFalse)
+      return setState(S1, SD[S2]) && setState(S2, SD[S1]);
+    // Boolean undetermined.
+    if (!(SD[S1] & From) || !(SD[S2] & To)) {
+      if (!setBool(B, BFalse))
+        return false;
+      return setState(S1, SD[S2]) && setState(S2, SD[S1]);
+    }
+    if ((SD[S1] & SD[S2]) == 0) {
+      if (!setBool(B, BTrue))
+        return false;
+      return setState(S1, From) && setState(S2, To);
+    }
+    // Both options open: prune to the union of the two scenarios.
+    return setState(S1, static_cast<uint8_t>(SD[S2] | From)) &&
+           setState(S2, static_cast<uint8_t>(SD[S1] | To));
+  }
+
+  bool propagateOne(const Constraint &C) {
+    switch (C.K) {
+    case Constraint::Kind::Eq:
+      return setState(C.S1, SD[C.S2]) && setState(C.S2, SD[C.S1]);
+    case Constraint::Kind::AllocTriple:
+      return propagateTriple(C.S1, C.B, C.S2, StU, StA);
+    case Constraint::Kind::DeallocTriple:
+      return propagateTriple(C.S1, C.B, C.S2, StA, StD);
+    }
+    return true;
+  }
+
+  bool propagate() {
+    while (!Queue.empty()) {
+      uint32_t CI = Queue.front();
+      Queue.pop_front();
+      InQueue[CI] = false;
+      ++Stats.Propagations;
+      if (!propagateOne(Sys.Cons[CI])) {
+        // Drain the queue; state is rolled back by the caller.
+        for (uint32_t Rest : Queue)
+          InQueue[Rest] = false;
+        Queue.clear();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void rollbackTo(size_t TrailSize) {
+    while (Trail.size() > TrailSize) {
+      const TrailEntry &E = Trail.back();
+      if (E.IsBool)
+        BD[E.Id] = E.Old;
+      else
+        SD[E.Id] = E.Old;
+      // Reverting re-creates whatever candidacy existed before.
+      noteChange(E.IsBool, E.Id);
+      Trail.pop_back();
+    }
+    Conflict = false;
+  }
+
+  bool isAllocCandidate(const Constraint &C) const {
+    return C.K == Constraint::Kind::AllocTriple && BD[C.B] == BAny &&
+           SD[C.S2] == StA && (SD[C.S1] & StU) && SD[C.S1] != StU;
+  }
+  bool isDeallocCandidate(const Constraint &C) const {
+    return C.K == Constraint::Kind::DeallocTriple && BD[C.B] == BAny &&
+           SD[C.S1] == StA && (SD[C.S2] & StD) && SD[C.S2] != StD;
+  }
+
+  /// Finds the next choice per the paper's preference: a border allocation
+  /// triple, else a border deallocation triple (both tracked
+  /// incrementally), else any open boolean (defaulted to false = no
+  /// operation).
+  bool findChoice(BoolVarId &B, uint8_t &Value) {
+    // Seed the candidate stacks once with a full scan.
+    if (!Seeded) {
+      Seeded = true;
+      for (uint32_t CI = 0; CI != Sys.Cons.size(); ++CI) {
+        const Constraint &C = Sys.Cons[CI];
+        if (C.K == Constraint::Kind::AllocTriple)
+          AllocCand.push_back(CI);
+        else if (C.K == Constraint::Kind::DeallocTriple)
+          DeallocCand.push_back(CI);
+      }
+    }
+    while (!AllocCand.empty()) {
+      uint32_t CI = AllocCand.back();
+      AllocCand.pop_back();
+      if (isAllocCandidate(Sys.Cons[CI])) {
+        // Keep it queued: if the decision is later rolled back, the
+        // candidate may need to be reconsidered (noteChange re-adds it,
+        // but only for variables on the trail).
+        B = Sys.Cons[CI].B;
+        Value = BTrue;
+        return true;
+      }
+    }
+    while (!DeallocCand.empty()) {
+      uint32_t CI = DeallocCand.back();
+      DeallocCand.pop_back();
+      if (isDeallocCandidate(Sys.Cons[CI])) {
+        B = Sys.Cons[CI].B;
+        Value = BTrue;
+        return true;
+      }
+    }
+    while (BoolPointer < BD.size() && BD[BoolPointer] != BAny)
+      ++BoolPointer;
+    if (BoolPointer < BD.size()) {
+      B = static_cast<BoolVarId>(BoolPointer);
+      Value = BFalse;
+      return true;
+    }
+    return false;
+  }
+
+  const ConstraintSystem &Sys;
+  std::vector<uint8_t> SD, BD;
+  std::vector<bool> InQueue;
+  std::deque<uint32_t> Queue;
+  std::vector<TrailEntry> Trail;
+  std::vector<Decision> Decisions;
+  std::vector<uint32_t> AllocCand, DeallocCand;
+  size_t BoolPointer = 0;
+  bool Seeded = false;
+  bool Conflict = false;
+  SolveResult Stats;
+};
+
+SolveResult SolverImpl::run() {
+  // Initial propagation: seed with every constraint.
+  for (uint32_t CI = 0; CI != Sys.Cons.size(); ++CI) {
+    InQueue[CI] = true;
+    Queue.push_back(CI);
+  }
+  if (!propagate()) {
+    Stats.Sat = false;
+    return Stats;
+  }
+
+  for (;;) {
+    BoolVarId B = 0;
+    uint8_t Value = 0;
+    if (!findChoice(B, Value)) {
+      Stats.Sat = true;
+      Stats.StateDom = SD;
+      Stats.BoolDom = BD;
+      return Stats;
+    }
+    ++Stats.Choices;
+    Decisions.push_back({B, Trail.size(), Value, false});
+    setBool(B, Value);
+    while (!propagate()) {
+      // Conflict: flip the most recent unflipped decision.
+      for (;;) {
+        if (Decisions.empty()) {
+          Stats.Sat = false;
+          return Stats;
+        }
+        Decision &D = Decisions.back();
+        rollbackTo(D.TrailSize);
+        if (!D.Flipped) {
+          ++Stats.Backtracks;
+          D.Flipped = true;
+          uint8_t Other = D.FirstTry == BTrue ? BFalse : BTrue;
+          setBool(D.B, Other);
+          break;
+        }
+        Decisions.pop_back();
+      }
+    }
+  }
+}
+
+} // namespace
+
+SolveResult solver::solve(const ConstraintSystem &Sys) {
+  SolverImpl S(Sys);
+  return S.run();
+}

@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constraint resolution (paper §4.3). The solver alternates between
+/// proving facts (arc-consistency propagation over the {U,A,D} and
+/// boolean domains) and making choices at *border* points:
+///
+///   * an allocation triple whose post-state is forced A while its
+///     pre-state is still free → choose to allocate here (this is the
+///     latest possible allocation point; U then propagates backwards);
+///   * a deallocation triple whose pre-state is forced A while its
+///     post-state is still free → choose to free here (earliest possible
+///     free; D propagates forwards).
+///
+/// Choices are tentative: each is trailed, and a choice whose propagation
+/// conflicts is reverted and pinned to false (chronological backtracking).
+/// Remaining undetermined booleans default to false (no operation). The
+/// conservative completion is a witness that the system is satisfiable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SOLVER_SOLVER_H
+#define AFL_SOLVER_SOLVER_H
+
+#include "constraints/ConstraintSystem.h"
+
+namespace afl {
+namespace solver {
+
+struct SolveResult {
+  bool Sat = false;
+  /// Final domains (singletons for booleans when Sat).
+  std::vector<uint8_t> StateDom;
+  std::vector<uint8_t> BoolDom;
+  /// Statistics.
+  uint64_t Propagations = 0;
+  uint64_t Choices = 0;
+  uint64_t Backtracks = 0;
+
+  bool boolValue(constraints::BoolVarId B) const {
+    return BoolDom[B] == constraints::BTrue;
+  }
+};
+
+/// Solves \p Sys. The input system is not modified.
+SolveResult solve(const constraints::ConstraintSystem &Sys);
+
+} // namespace solver
+} // namespace afl
+
+#endif // AFL_SOLVER_SOLVER_H

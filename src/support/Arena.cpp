@@ -1,0 +1,13 @@
+#include "support/Arena.h"
+
+#include <algorithm>
+
+using namespace afl;
+
+void Arena::growSlab(size_t MinSize) {
+  size_t SlabSize = std::max(DefaultSlabSize, MinSize);
+  Slabs.push_back(std::make_unique<char[]>(SlabSize));
+  Cur = Slabs.back().get();
+  End = Cur + SlabSize;
+  BytesReserved += SlabSize;
+}

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena used for AST and IR node allocation.
+///
+/// Nodes allocated here are never individually freed; the whole arena is
+/// released at once when the owning context is destroyed. Objects with
+/// non-trivial destructors may be allocated, but their destructors are NOT
+/// run — arena clients must only store trivially-destructible state or
+/// state whose cleanup is managed elsewhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SUPPORT_ARENA_H
+#define AFL_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace afl {
+
+/// Bump-pointer allocator backing the AST/IR contexts.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+           "alignment must be a power of two");
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      growSlab(Size + Align);
+      P = reinterpret_cast<uintptr_t>(Cur);
+      Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+    }
+    Cur = reinterpret_cast<char *>(Aligned + Size);
+    ++NumAllocations;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Constructs a \p T in the arena, forwarding \p Args to its constructor.
+  template <typename T, typename... Args> T *create(Args &&...ArgValues) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(ArgValues)...);
+  }
+
+  /// Number of allocation requests served (for diagnostics/tests).
+  size_t numAllocations() const { return NumAllocations; }
+
+  /// Total bytes reserved across all slabs.
+  size_t bytesReserved() const { return BytesReserved; }
+
+private:
+  void growSlab(size_t MinSize);
+
+  static constexpr size_t DefaultSlabSize = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t NumAllocations = 0;
+  size_t BytesReserved = 0;
+};
+
+} // namespace afl
+
+#endif // AFL_SUPPORT_ARENA_H

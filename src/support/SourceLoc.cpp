@@ -1,0 +1,9 @@
+#include "support/SourceLoc.h"
+
+using namespace afl;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}

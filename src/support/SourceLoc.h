@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and ranges for diagnostics and AST nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SUPPORT_SOURCELOC_H
+#define AFL_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace afl {
+
+/// A position in the source text. Line and column are 1-based; a value of 0
+/// marks an invalid/unknown location (e.g., synthesized nodes).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+
+  /// Renders as "line:col" (or "<unknown>").
+  std::string str() const;
+};
+
+} // namespace afl
+
+#endif // AFL_SUPPORT_SOURCELOC_H

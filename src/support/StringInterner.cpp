@@ -1,0 +1,13 @@
+#include "support/StringInterner.h"
+
+using namespace afl;
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return Symbol(It->second);
+  Strings.emplace_back(Text);
+  uint32_t Id = static_cast<uint32_t>(Strings.size() - 1);
+  Index.emplace(std::string_view(Strings.back()), Id);
+  return Symbol(Id);
+}

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniqued identifier storage. Identifiers are interned once and referred to
+/// by stable \c Symbol handles; comparison is O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SUPPORT_STRINGINTERNER_H
+#define AFL_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace afl {
+
+/// A handle to an interned string. Value 0 is reserved for the invalid
+/// symbol so that default-constructed symbols are distinguishable.
+class Symbol {
+public:
+  Symbol() = default;
+
+  bool isValid() const { return Id != 0; }
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  friend class StringInterner;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+  uint32_t Id = 0;
+};
+
+/// Owns interned strings and hands out \c Symbol handles.
+class StringInterner {
+public:
+  StringInterner() { Strings.emplace_back(); /* slot 0 = invalid */ }
+
+  /// Interns \p Text, returning a stable symbol; repeated calls with equal
+  /// text return equal symbols.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the text for \p S. \p S must be valid.
+  const std::string &text(Symbol S) const {
+    assert(S.isValid() && "querying invalid symbol");
+    assert(S.id() < Strings.size() && "symbol from another interner?");
+    return Strings[S.id()];
+  }
+
+  size_t size() const { return Strings.size() - 1; }
+
+private:
+  // Deque keeps element addresses stable, so the string_view keys in Index
+  // (which point into stored strings) remain valid as new strings arrive.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace afl
+
+#endif // AFL_SUPPORT_STRINGINTERNER_H

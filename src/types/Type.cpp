@@ -1,0 +1,138 @@
+#include "types/Type.h"
+
+using namespace afl;
+using namespace afl::types;
+
+TypeId TypeTable::find(TypeId Id) const {
+  // Path compression is skipped to keep this const; chains are short in
+  // practice because unify always links variable -> representative.
+  while (Nodes[Id].Kind == TypeKind::Var && Nodes[Id].Link != Id)
+    Id = Nodes[Id].Link;
+  return Id;
+}
+
+bool TypeTable::occurs(TypeId VarId, TypeId InId) const {
+  InId = find(InId);
+  if (InId == VarId)
+    return true;
+  const Node &N = Nodes[InId];
+  switch (N.Kind) {
+  case TypeKind::Arrow:
+  case TypeKind::Pair:
+    return occurs(VarId, N.Child0) || occurs(VarId, N.Child1);
+  case TypeKind::List:
+    return occurs(VarId, N.Child0);
+  default:
+    return false;
+  }
+}
+
+bool TypeTable::unify(TypeId A, TypeId B) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return true;
+  Node &NA = Nodes[A];
+  Node &NB = Nodes[B];
+  if (NA.Kind == TypeKind::Var) {
+    if (occurs(A, B))
+      return false;
+    NA.Link = B;
+    return true;
+  }
+  if (NB.Kind == TypeKind::Var) {
+    if (occurs(B, A))
+      return false;
+    NB.Link = A;
+    return true;
+  }
+  if (NA.Kind != NB.Kind)
+    return false;
+  switch (NA.Kind) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Unit:
+    return true;
+  case TypeKind::Arrow:
+  case TypeKind::Pair:
+    return unify(NA.Child0, NB.Child0) && unify(Nodes[A].Child1, Nodes[B].Child1);
+  case TypeKind::List:
+    return unify(NA.Child0, NB.Child0);
+  case TypeKind::Var:
+    break;
+  }
+  return false;
+}
+
+void TypeTable::defaultToInt(TypeId Id) {
+  Id = find(Id);
+  Node &N = Nodes[Id];
+  switch (N.Kind) {
+  case TypeKind::Var:
+    N.Link = IntTy;
+    return;
+  case TypeKind::Arrow:
+  case TypeKind::Pair:
+    defaultToInt(N.Child0);
+    defaultToInt(Nodes[Id].Child1);
+    return;
+  case TypeKind::List:
+    defaultToInt(N.Child0);
+    return;
+  default:
+    return;
+  }
+}
+
+void TypeTable::strAppend(TypeId Id, std::string &Out, int Prec) const {
+  // Prec: 0 = arrow position (loosest), 1 = pair operand, 2 = atom.
+  Id = find(Id);
+  const Node &N = Nodes[Id];
+  switch (N.Kind) {
+  case TypeKind::Int:
+    Out += "int";
+    return;
+  case TypeKind::Bool:
+    Out += "bool";
+    return;
+  case TypeKind::Unit:
+    Out += "unit";
+    return;
+  case TypeKind::Var:
+    Out += "'t";
+    Out += std::to_string(Id);
+    return;
+  case TypeKind::List:
+    strAppend(N.Child0, Out, 2);
+    Out += " list";
+    return;
+  case TypeKind::Pair: {
+    bool Parens = Prec >= 2;
+    if (Parens)
+      Out += '(';
+    strAppend(N.Child0, Out, 2);
+    Out += " * ";
+    strAppend(N.Child1, Out, 2);
+    if (Parens)
+      Out += ')';
+    return;
+  }
+  case TypeKind::Arrow: {
+    bool Parens = Prec >= 1;
+    if (Parens)
+      Out += '(';
+    strAppend(N.Child0, Out, 1);
+    Out += " -> ";
+    strAppend(N.Child1, Out, 0);
+    if (Parens)
+      Out += ')';
+    return;
+  }
+  }
+}
+
+std::string TypeTable::str(TypeId Id) const {
+  std::string Out;
+  strAppend(Id, Out, 0);
+  return Out;
+}

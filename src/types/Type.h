@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Underlying ML types for the surface language, represented as nodes in a
+/// \c TypeTable with union-find unification variables. Region inference
+/// later decorates these structures with regions and effects.
+///
+/// The system is monomorphic (no let-polymorphism over value types); the
+/// paper's language and benchmarks need none, and region polymorphism —
+/// which the paper does require — lives in the regions module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_TYPES_TYPE_H
+#define AFL_TYPES_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace afl {
+namespace types {
+
+/// Index of a type node in a TypeTable.
+using TypeId = uint32_t;
+
+/// Shape of a type node.
+enum class TypeKind : uint8_t {
+  Var,   ///< unification variable (possibly bound via union-find)
+  Int,   ///< int
+  Bool,  ///< bool
+  Unit,  ///< unit
+  Arrow, ///< t1 -> t2
+  Pair,  ///< t1 * t2
+  List,  ///< t list
+};
+
+/// Stores type nodes and implements unification. TypeIds are stable; use
+/// \c find to chase variable bindings to a representative.
+class TypeTable {
+public:
+  TypeTable() {
+    IntTy = make(TypeKind::Int);
+    BoolTy = make(TypeKind::Bool);
+    UnitTy = make(TypeKind::Unit);
+  }
+
+  TypeId intType() const { return IntTy; }
+  TypeId boolType() const { return BoolTy; }
+  TypeId unitType() const { return UnitTy; }
+
+  TypeId freshVar() { return make(TypeKind::Var); }
+  TypeId arrow(TypeId Param, TypeId Result) {
+    return make(TypeKind::Arrow, Param, Result);
+  }
+  TypeId pair(TypeId First, TypeId Second) {
+    return make(TypeKind::Pair, First, Second);
+  }
+  TypeId list(TypeId Elem) { return make(TypeKind::List, Elem); }
+
+  /// Chases variable bindings; the result is either a non-variable node or
+  /// an unbound variable.
+  TypeId find(TypeId Id) const;
+
+  TypeKind kind(TypeId Id) const { return Nodes[find(Id)].Kind; }
+
+  /// First child (arrow param, pair first, list element).
+  TypeId child0(TypeId Id) const {
+    const Node &N = Nodes[find(Id)];
+    assert(N.Kind == TypeKind::Arrow || N.Kind == TypeKind::Pair ||
+           N.Kind == TypeKind::List);
+    return N.Child0;
+  }
+  /// Second child (arrow result, pair second).
+  TypeId child1(TypeId Id) const {
+    const Node &N = Nodes[find(Id)];
+    assert(N.Kind == TypeKind::Arrow || N.Kind == TypeKind::Pair);
+    return N.Child1;
+  }
+
+  /// Unifies \p A and \p B. Returns false on a shape mismatch or an occurs
+  /// check failure (infinite type); the table may be partially updated in
+  /// that case, which is fine since callers abort inference on failure.
+  bool unify(TypeId A, TypeId B);
+
+  /// Binds every unbound variable reachable from \p Id to int. The paper's
+  /// language has no value polymorphism, so unconstrained types (e.g. the
+  /// element type of an unused nil) default to int.
+  void defaultToInt(TypeId Id);
+
+  /// Renders the type for diagnostics, e.g. "(int * bool) -> int list".
+  std::string str(TypeId Id) const;
+
+  size_t size() const { return Nodes.size(); }
+
+private:
+  struct Node {
+    TypeKind Kind;
+    TypeId Child0 = 0;
+    TypeId Child1 = 0;
+    /// For Var nodes: the bound target, or the node itself if unbound.
+    TypeId Link = 0;
+  };
+
+  TypeId make(TypeKind Kind, TypeId Child0 = 0, TypeId Child1 = 0) {
+    TypeId Id = static_cast<TypeId>(Nodes.size());
+    Nodes.push_back({Kind, Child0, Child1, Id});
+    return Id;
+  }
+
+  bool occurs(TypeId VarId, TypeId InId) const;
+  void strAppend(TypeId Id, std::string &Out, int Prec) const;
+
+  std::vector<Node> Nodes;
+  TypeId IntTy = 0, BoolTy = 0, UnitTy = 0;
+};
+
+} // namespace types
+} // namespace afl
+
+#endif // AFL_TYPES_TYPE_H

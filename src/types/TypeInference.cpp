@@ -1,0 +1,250 @@
+#include "types/TypeInference.h"
+
+#include "ast/ASTContext.h"
+#include "ast/Expr.h"
+
+#include <optional>
+
+using namespace afl;
+using namespace afl::ast;
+using namespace afl::types;
+
+TypeId TypedProgram::typeOf(const Expr *E) const {
+  assert(E->id() < NodeTypes.size() && "expr from another context?");
+  return Table.find(NodeTypes[E->id()]);
+}
+
+TypeId TypedProgram::paramTypeOf(const Expr *E) const {
+  assert((E->kind() == Expr::Kind::Lambda ||
+          E->kind() == Expr::Kind::Letrec) &&
+         "param type only recorded for binder nodes");
+  assert(E->id() < ParamTypes.size() && "expr from another context?");
+  return Table.find(ParamTypes[E->id()]);
+}
+
+namespace {
+
+class Inferencer {
+public:
+  Inferencer(TypedProgram &Out, const ASTContext &Ctx, DiagnosticEngine &Diags)
+      : Out(Out), Ctx(Ctx), Diags(Diags) {}
+
+  /// Infers the type of \p E under the current environment; returns nullopt
+  /// after reporting on error.
+  std::optional<TypeId> infer(const Expr *E) {
+    std::optional<TypeId> Ty = inferImpl(E);
+    if (Ty)
+      Out.NodeTypes[E->id()] = *Ty;
+    return Ty;
+  }
+
+private:
+  TypeTable &table() { return Out.Table; }
+
+  /// Unifies with error reporting. Returns false on failure.
+  bool unifyAt(const Expr *E, TypeId Actual, TypeId Expected,
+               const char *What) {
+    if (table().unify(Actual, Expected))
+      return true;
+    Diags.error(E->loc(), std::string("type mismatch in ") + What + ": " +
+                              table().str(Actual) + " vs " +
+                              table().str(Expected));
+    return false;
+  }
+
+  TypeId lookup(Symbol Name, const Expr *E) {
+    for (auto It = Env.rbegin(), End = Env.rend(); It != End; ++It)
+      if (It->first == Name)
+        return It->second;
+    Diags.error(E->loc(), "unbound variable '" + Ctx.text(Name) + "'");
+    return table().freshVar(); // recover with a fresh type
+  }
+
+  std::optional<TypeId> inferImpl(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      return table().intType();
+    case Expr::Kind::BoolLit:
+      return table().boolType();
+    case Expr::Kind::UnitLit:
+      return table().unitType();
+    case Expr::Kind::Var:
+      return lookup(cast<VarExpr>(E)->name(), E);
+    case Expr::Kind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      TypeId ParamTy = table().freshVar();
+      Out.ParamTypes[E->id()] = ParamTy;
+      Env.emplace_back(L->param(), ParamTy);
+      std::optional<TypeId> BodyTy = infer(L->body());
+      Env.pop_back();
+      if (!BodyTy)
+        return std::nullopt;
+      return table().arrow(ParamTy, *BodyTy);
+    }
+    case Expr::Kind::App: {
+      const auto *A = cast<AppExpr>(E);
+      std::optional<TypeId> FnTy = infer(A->fn());
+      if (!FnTy)
+        return std::nullopt;
+      std::optional<TypeId> ArgTy = infer(A->arg());
+      if (!ArgTy)
+        return std::nullopt;
+      TypeId ResultTy = table().freshVar();
+      if (!unifyAt(E, *FnTy, table().arrow(*ArgTy, ResultTy), "application"))
+        return std::nullopt;
+      return ResultTy;
+    }
+    case Expr::Kind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      std::optional<TypeId> InitTy = infer(L->init());
+      if (!InitTy)
+        return std::nullopt;
+      Env.emplace_back(L->name(), *InitTy);
+      std::optional<TypeId> BodyTy = infer(L->body());
+      Env.pop_back();
+      return BodyTy;
+    }
+    case Expr::Kind::Letrec: {
+      const auto *L = cast<LetrecExpr>(E);
+      TypeId ParamTy = table().freshVar();
+      Out.ParamTypes[E->id()] = ParamTy;
+      TypeId ResultTy = table().freshVar();
+      TypeId FnTy = table().arrow(ParamTy, ResultTy);
+      Env.emplace_back(L->fnName(), FnTy);
+      Env.emplace_back(L->param(), ParamTy);
+      std::optional<TypeId> FnBodyTy = infer(L->fnBody());
+      Env.pop_back();
+      if (!FnBodyTy)
+        return std::nullopt;
+      if (!unifyAt(E, *FnBodyTy, ResultTy, "letrec body"))
+        return std::nullopt;
+      std::optional<TypeId> BodyTy = infer(L->body());
+      Env.pop_back();
+      return BodyTy;
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      std::optional<TypeId> CondTy = infer(I->cond());
+      if (!CondTy || !unifyAt(I->cond(), *CondTy, table().boolType(),
+                              "if condition"))
+        return std::nullopt;
+      std::optional<TypeId> ThenTy = infer(I->thenExpr());
+      if (!ThenTy)
+        return std::nullopt;
+      std::optional<TypeId> ElseTy = infer(I->elseExpr());
+      if (!ElseTy)
+        return std::nullopt;
+      if (!unifyAt(E, *ThenTy, *ElseTy, "if branches"))
+        return std::nullopt;
+      return ThenTy;
+    }
+    case Expr::Kind::Pair: {
+      const auto *P = cast<PairExpr>(E);
+      std::optional<TypeId> FirstTy = infer(P->first());
+      if (!FirstTy)
+        return std::nullopt;
+      std::optional<TypeId> SecondTy = infer(P->second());
+      if (!SecondTy)
+        return std::nullopt;
+      return table().pair(*FirstTy, *SecondTy);
+    }
+    case Expr::Kind::Nil:
+      return table().list(table().freshVar());
+    case Expr::Kind::Cons: {
+      const auto *C = cast<ConsExpr>(E);
+      std::optional<TypeId> HeadTy = infer(C->head());
+      if (!HeadTy)
+        return std::nullopt;
+      std::optional<TypeId> TailTy = infer(C->tail());
+      if (!TailTy)
+        return std::nullopt;
+      if (!unifyAt(E, *TailTy, table().list(*HeadTy), "cons"))
+        return std::nullopt;
+      return TailTy;
+    }
+    case Expr::Kind::UnOp: {
+      const auto *U = cast<UnOpExpr>(E);
+      std::optional<TypeId> OpTy = infer(U->operand());
+      if (!OpTy)
+        return std::nullopt;
+      switch (U->op()) {
+      case UnOpKind::Fst:
+      case UnOpKind::Snd: {
+        TypeId FirstTy = table().freshVar();
+        TypeId SecondTy = table().freshVar();
+        if (!unifyAt(E, *OpTy, table().pair(FirstTy, SecondTy),
+                     "pair projection"))
+          return std::nullopt;
+        return U->op() == UnOpKind::Fst ? FirstTy : SecondTy;
+      }
+      case UnOpKind::Null: {
+        TypeId ElemTy = table().freshVar();
+        if (!unifyAt(E, *OpTy, table().list(ElemTy), "null"))
+          return std::nullopt;
+        return table().boolType();
+      }
+      case UnOpKind::Hd:
+      case UnOpKind::Tl: {
+        TypeId ElemTy = table().freshVar();
+        if (!unifyAt(E, *OpTy, table().list(ElemTy), "list projection"))
+          return std::nullopt;
+        return U->op() == UnOpKind::Hd ? ElemTy : table().find(*OpTy);
+      }
+      }
+      return std::nullopt;
+    }
+    case Expr::Kind::BinOp: {
+      const auto *B = cast<BinOpExpr>(E);
+      std::optional<TypeId> LhsTy = infer(B->lhs());
+      if (!LhsTy ||
+          !unifyAt(B->lhs(), *LhsTy, table().intType(), "operator operand"))
+        return std::nullopt;
+      std::optional<TypeId> RhsTy = infer(B->rhs());
+      if (!RhsTy ||
+          !unifyAt(B->rhs(), *RhsTy, table().intType(), "operator operand"))
+        return std::nullopt;
+      switch (B->op()) {
+      case BinOpKind::Add:
+      case BinOpKind::Sub:
+      case BinOpKind::Mul:
+      case BinOpKind::Div:
+      case BinOpKind::Mod:
+        return table().intType();
+      case BinOpKind::Lt:
+      case BinOpKind::Le:
+      case BinOpKind::Eq:
+        return table().boolType();
+      }
+      return std::nullopt;
+    }
+    }
+    return std::nullopt;
+  }
+
+  TypedProgram &Out;
+  const ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  std::vector<std::pair<Symbol, TypeId>> Env;
+};
+
+} // namespace
+
+TypedProgram types::inferTypes(const Expr *Root, const ASTContext &Ctx,
+                               DiagnosticEngine &Diags) {
+  TypedProgram Out;
+  Out.NodeTypes.assign(Ctx.numNodes(), 0);
+  Out.ParamTypes.assign(Ctx.numNodes(), 0);
+  Inferencer Inf(Out, Ctx, Diags);
+  std::optional<TypeId> RootTy = Inf.infer(Root);
+  if (!RootTy || Diags.hasErrors()) {
+    Out.Success = false;
+    return Out;
+  }
+  // Default residual type variables so downstream phases see ground types.
+  for (TypeId &Ty : Out.NodeTypes)
+    Out.Table.defaultToInt(Ty);
+  for (TypeId &Ty : Out.ParamTypes)
+    Out.Table.defaultToInt(Ty);
+  Out.Success = true;
+  return Out;
+}

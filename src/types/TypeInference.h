@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unification-based ML type inference for the surface language. This is
+/// the prerequisite of Tofte/Talpin region inference: region inference
+/// decorates the inferred type structure with regions and effects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_TYPES_TYPEINFERENCE_H
+#define AFL_TYPES_TYPEINFERENCE_H
+
+#include "support/Diagnostics.h"
+#include "types/Type.h"
+
+#include <vector>
+
+namespace afl {
+namespace ast {
+class ASTContext;
+class Expr;
+} // namespace ast
+
+namespace types {
+
+/// Output of type inference: the type table plus the (resolved-on-demand)
+/// type of every AST node, indexed by node id.
+struct TypedProgram {
+  TypeTable Table;
+  std::vector<TypeId> NodeTypes;
+  /// For Lambda and Letrec nodes: the type of the bound parameter,
+  /// indexed by the binder node's id (0 elsewhere).
+  std::vector<TypeId> ParamTypes;
+  bool Success = false;
+
+  TypeId typeOf(const ast::Expr *E) const;
+  /// The parameter type of binder node \p E (Lambda or Letrec).
+  TypeId paramTypeOf(const ast::Expr *E) const;
+};
+
+/// Runs type inference over \p Root. On success, every node has a type and
+/// all residual type variables are defaulted to int. Errors go to \p Diags.
+TypedProgram inferTypes(const ast::Expr *Root, const ast::ASTContext &Ctx,
+                        DiagnosticEngine &Diags);
+
+} // namespace types
+} // namespace afl
+
+#endif // AFL_TYPES_TYPEINFERENCE_H

@@ -1,0 +1,129 @@
+// Tests for the pipeline facade: option handling, failure reporting, and
+// the ablation consistency guarantee (fully-lexical == conservative).
+
+#include "driver/Pipeline.h"
+#include "programs/Corpus.h"
+#include "programs/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+
+namespace {
+
+TEST(Driver, ParseErrorReported) {
+  driver::PipelineResult R = driver::runPipeline("let x = in x end");
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.Diags.hasErrors());
+  EXPECT_EQ(R.Prog, nullptr);
+}
+
+TEST(Driver, TypeErrorReported) {
+  driver::PipelineResult R = driver::runPipeline("1 + true");
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.Diags.hasErrors());
+}
+
+TEST(Driver, SkipRunsProducesAnalysisOnly) {
+  driver::PipelineOptions Options;
+  Options.SkipRuns = true;
+  driver::PipelineResult R =
+      driver::runPipeline(programs::fibSource(5), Options);
+  ASSERT_TRUE(R.ok()) << R.Diags.str();
+  EXPECT_NE(R.Prog, nullptr);
+  EXPECT_TRUE(R.Analysis.Solved);
+  EXPECT_FALSE(R.Conservative.Ok); // runs skipped
+  EXPECT_FALSE(R.Afl.Ok);
+}
+
+TEST(Driver, TraceOptionRecordsTraces) {
+  driver::PipelineOptions Options;
+  Options.RecordTrace = true;
+  driver::PipelineResult R =
+      driver::runPipeline(programs::facSource(4), Options);
+  ASSERT_TRUE(R.ok()) << R.Diags.str();
+  EXPECT_FALSE(R.Conservative.Trace.empty());
+  EXPECT_FALSE(R.Afl.Trace.empty());
+}
+
+TEST(Driver, StepLimitSurfacesAsFailure) {
+  driver::PipelineOptions Options;
+  Options.MaxSteps = 100;
+  driver::PipelineResult R =
+      driver::runPipeline(programs::quicksortSource(50), Options);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Driver, PrintersProduceOutput) {
+  driver::PipelineResult R = driver::runPipeline("1 + 2");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.printConservative().find("binop +"), std::string::npos);
+  EXPECT_NE(R.printAfl().find("binop +"), std::string::npos);
+  EXPECT_NE(R.printConservative().find("alloc_before"), std::string::npos);
+}
+
+/// The fully-lexical ablation must reproduce the conservative (T-T)
+/// completion's memory behavior exactly — the constraint system and the
+/// direct construction agree.
+class LexicalEqualsConservative
+    : public ::testing::TestWithParam<programs::BenchProgram> {};
+
+TEST_P(LexicalEqualsConservative, SameMemoryBehavior) {
+  driver::PipelineOptions Options;
+  Options.GenOptions.FreeApp = false;
+  Options.GenOptions.LateAlloc = false;
+  Options.GenOptions.EarlyFree = false;
+  driver::PipelineResult R =
+      driver::runPipeline(GetParam().Source, Options);
+  ASSERT_TRUE(R.ok()) << R.Diags.str();
+  // Value metrics match the conservative completion exactly. Region
+  // counts may be slightly lower: even lexically-restricted solving can
+  // skip allocating a region that is never dynamically accessed.
+  EXPECT_EQ(R.Afl.S.MaxValues, R.Conservative.S.MaxValues);
+  EXPECT_EQ(R.Afl.S.FinalValues, R.Conservative.S.FinalValues);
+  EXPECT_LE(R.Afl.S.MaxRegions, R.Conservative.S.MaxRegions);
+  EXPECT_GE(R.Afl.S.MaxRegions + 8, R.Conservative.S.MaxRegions);
+  EXPECT_LE(R.Afl.S.TotalRegionAllocs, R.Conservative.S.TotalRegionAllocs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, LexicalEqualsConservative,
+    ::testing::ValuesIn(programs::smallCorpus()),
+    [](const ::testing::TestParamInfo<programs::BenchProgram> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(Driver, AblationsNeverWorseThanLexical) {
+  // Each single ablation still improves on (or matches) T-T and is never
+  // better than the full system.
+  for (unsigned Seed = 100; Seed != 130; ++Seed) {
+    std::string Source = programs::generateRandomProgram(Seed);
+    SCOPED_TRACE(Source);
+
+    driver::PipelineResult Full = driver::runPipeline(Source);
+    ASSERT_TRUE(Full.ok()) << Full.Diags.str();
+
+    for (int Ablate = 0; Ablate != 3; ++Ablate) {
+      driver::PipelineOptions Options;
+      if (Ablate == 0)
+        Options.GenOptions.FreeApp = false;
+      if (Ablate == 1)
+        Options.GenOptions.LateAlloc = false;
+      if (Ablate == 2) {
+        Options.GenOptions.EarlyFree = false;
+        Options.GenOptions.FreeApp = false;
+      }
+      driver::PipelineResult R = driver::runPipeline(Source, Options);
+      ASSERT_TRUE(R.ok()) << R.Diags.str();
+      EXPECT_LE(R.Afl.S.MaxValues, R.Conservative.S.MaxValues);
+      EXPECT_GE(R.Afl.S.MaxValues, Full.Afl.S.MaxValues);
+      EXPECT_EQ(R.Afl.ResultText, Full.Reference.ResultText);
+    }
+  }
+}
+
+} // namespace

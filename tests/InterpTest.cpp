@@ -1,0 +1,181 @@
+// Unit tests for the instrumented interpreter: Fig. 2 semantics,
+// instrumentation counters, trace recording, and safety trapping
+// (the dynamic checks behind Theorem 5.1).
+
+#include "ast/ASTContext.h"
+#include "completion/Conservative.h"
+#include "interp/Interp.h"
+#include "parser/Parser.h"
+#include "regions/RegionInference.h"
+#include "types/TypeInference.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+using namespace afl::regions;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<RegionProgram> Prog;
+  Completion Cons;
+};
+
+Built build(const std::string &Source) {
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr(Source, Ctx, Diags);
+  EXPECT_NE(E, nullptr) << Diags.str();
+  types::TypedProgram T = types::inferTypes(E, Ctx, Diags);
+  EXPECT_TRUE(T.Success) << Diags.str();
+  Built B;
+  B.Prog = inferRegions(E, Ctx, T, Diags);
+  EXPECT_NE(B.Prog, nullptr) << Diags.str();
+  B.Cons = completion::conservativeCompletion(*B.Prog);
+  return B;
+}
+
+TEST(Interp, CountsValueAllocations) {
+  Built B = build("1 + 2");
+  interp::RunResult R = interp::run(*B.Prog, B.Cons);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Three boxed values: 1, 2, and the sum.
+  EXPECT_EQ(R.S.TotalValueAllocs, 3u);
+  EXPECT_EQ(R.S.Writes, 3u);
+  EXPECT_EQ(R.S.Reads, 2u); // both operands read
+  EXPECT_EQ(R.ResultText, "3");
+}
+
+TEST(Interp, RegionAllocationCounting) {
+  Built B = build("let x = (1, 2) in fst x end");
+  interp::RunResult R = interp::run(*B.Prog, B.Cons);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GE(R.S.TotalRegionAllocs, 3u);
+  EXPECT_GE(R.S.MaxRegions, 1u);
+  EXPECT_LE(R.S.MaxValues, R.S.TotalValueAllocs);
+}
+
+TEST(Interp, FinalValuesCountsResidentOnly) {
+  // The dead pair is freed by the conservative completion at letregion
+  // exit; only the result int remains.
+  Built B = build("let x = (1, 2) in 5 end");
+  interp::RunResult R = interp::run(*B.Prog, B.Cons);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.S.FinalValues, 1u);
+}
+
+TEST(Interp, TraceIsMonotoneInTime) {
+  Built B = build("letrec f n = if n = 0 then 0 else f (n - 1) in f 5 end");
+  interp::RunOptions Options;
+  Options.RecordTrace = true;
+  interp::RunResult R = interp::run(*B.Prog, B.Cons, Options);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_FALSE(R.Trace.empty());
+  uint64_t Peak = 0;
+  for (size_t I = 1; I != R.Trace.size(); ++I) {
+    EXPECT_LT(R.Trace[I - 1].Time, R.Trace[I].Time);
+    Peak = std::max(Peak, R.Trace[I].ValuesHeld);
+  }
+  EXPECT_EQ(Peak, R.S.MaxValues);
+  EXPECT_EQ(R.Trace.size(), R.S.Time);
+}
+
+TEST(Interp, TrapsOnUseAfterFree) {
+  // Sabotage the completion: free the result region of "1 + 2" before
+  // the addition reads its operands.
+  Built B = build("1 + 2");
+  // Find the two int literal nodes; free the lhs region right after it
+  // is written.
+  const RExpr *Lhs = cast<RBinOpExpr>(B.Prog->Root)->lhs();
+  Completion Bad = B.Cons;
+  Bad.Post[Lhs->id()].push_back({COpKind::FreeAfter, Lhs->writeRegion()});
+  interp::RunResult R = interp::run(*B.Prog, Bad);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("not allocated"), std::string::npos);
+}
+
+TEST(Interp, TrapsOnDoubleAllocation) {
+  Built B = build("1 + 2");
+  Completion Bad = B.Cons;
+  const RExpr *Lhs = cast<RBinOpExpr>(B.Prog->Root)->lhs();
+  // The region is already allocated (conservatively, at program entry
+  // or letregion entry); allocating again must trap.
+  Bad.Pre[Lhs->id()].push_back({COpKind::AllocBefore, Lhs->writeRegion()});
+  interp::RunResult R = interp::run(*B.Prog, Bad);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("not unallocated"), std::string::npos);
+}
+
+TEST(Interp, TrapsOnDoubleFree) {
+  Built B = build("let x = 1 in 2 end");
+  // Free x's region twice.
+  const auto *Let = cast<RLetExpr>(B.Prog->Root);
+  const RExpr *Init = Let->init();
+  Completion Bad = B.Cons;
+  Bad.Post[Init->id()].push_back({COpKind::FreeAfter, Init->writeRegion()});
+  Bad.Post[Init->id()].push_back({COpKind::FreeAfter, Init->writeRegion()});
+  interp::RunResult R = interp::run(*B.Prog, Bad);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Interp, TrapsOnWriteToUnallocatedRegion) {
+  Built B = build("1 + 2");
+  // Remove every allocation: the first write faults.
+  Completion Empty;
+  interp::RunResult R = interp::run(*B.Prog, Empty);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("not allocated"), std::string::npos);
+}
+
+TEST(Interp, TrapsOnRegionLeftAllocatedAtScopeExit) {
+  Built B = build("let x = (1, 2) in 5 end");
+  // Strip the frees from the conservative completion: letregion exit
+  // must detect the still-allocated region.
+  Completion NoFrees = B.Cons;
+  NoFrees.Post.clear();
+  interp::RunResult R = interp::run(*B.Prog, NoFrees);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("letregion exit"), std::string::npos);
+}
+
+TEST(Interp, StepLimit) {
+  Built B = build("letrec loop n = loop n in loop 1 end");
+  interp::RunOptions Options;
+  Options.MaxSteps = 10000;
+  interp::RunResult R = interp::run(*B.Prog, B.Cons, Options);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(Interp, RendersValues) {
+  struct Case {
+    const char *Source;
+    const char *Expected;
+  } Cases[] = {
+      {"42", "42"},
+      {"(-7)", "-7"},
+      {"true", "true"},
+      {"()", "()"},
+      {"(1, (2, 3))", "(1, (2, 3))"},
+      {"1 :: 2 :: nil", "[1, 2]"},
+      {"nil", "[]"},
+      {"fn x => x", "<fn>"},
+      {"(1 :: nil, true)", "([1], true)"},
+  };
+  for (const Case &C : Cases) {
+    Built B = build(C.Source);
+    interp::RunResult R = interp::run(*B.Prog, B.Cons);
+    ASSERT_TRUE(R.Ok) << C.Source << ": " << R.Error;
+    EXPECT_EQ(R.ResultText, C.Expected) << C.Source;
+  }
+}
+
+TEST(Interp, TimeCountsAllMemoryOperations) {
+  Built B = build("1 + 2");
+  interp::RunResult R = interp::run(*B.Prog, B.Cons);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.S.Time, R.S.Reads + R.S.Writes + R.S.TotalRegionAllocs +
+                          (R.S.TotalRegionAllocs - R.S.CurRegions));
+}
+
+} // namespace

@@ -1,0 +1,13 @@
+#include "lexer/Lexer.h"
+#include <gtest/gtest.h>
+
+using namespace afl;
+
+TEST(Lexer, Smoke) {
+  DiagnosticEngine Diags;
+  Lexer L("let x = 1 in x + 2 end", Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(L.tokens().size(), 10u);
+  EXPECT_EQ(L.tokens().front().Kind, TokenKind::KwLet);
+  EXPECT_EQ(L.tokens().back().Kind, TokenKind::Eof);
+}

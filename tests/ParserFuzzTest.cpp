@@ -1,0 +1,74 @@
+// Robustness fuzzing: the lexer/parser must reject arbitrary byte soup
+// with diagnostics, never crash, and the full pipeline must survive
+// mutated corpus programs (either failing cleanly or running soundly).
+
+#include "ast/ASTContext.h"
+#include "driver/Pipeline.h"
+#include "parser/Parser.h"
+#include "programs/Corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace afl;
+
+namespace {
+
+class GarbageFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GarbageFuzz, NeverCrashes) {
+  std::mt19937 Rng(GetParam());
+  std::string Source;
+  unsigned Len = 1 + Rng() % 120;
+  const char Alphabet[] =
+      "abcxyz0123456789 ()+-*<=:,%$#@!\n\tfnletrecinendifthenelse";
+  for (unsigned I = 0; I != Len; ++I)
+    Source += Alphabet[Rng() % (sizeof(Alphabet) - 1)];
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr(Source, Ctx, Diags);
+  // Either it parsed, or a diagnostic explains why.
+  if (!E) {
+    EXPECT_TRUE(Diags.hasErrors());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbageFuzz, ::testing::Range(0u, 200u));
+
+class MutationFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MutationFuzz, MutatedCorpusFailsCleanlyOrRunsSoundly) {
+  std::mt19937 Rng(GetParam());
+  auto Corpus = programs::smallCorpus();
+  std::string Source = Corpus[Rng() % Corpus.size()].Source;
+  // Apply a few random character mutations.
+  for (int I = 0; I != 3; ++I) {
+    size_t Pos = Rng() % Source.size();
+    switch (Rng() % 3) {
+    case 0:
+      Source.erase(Pos, 1);
+      break;
+    case 1:
+      Source.insert(Pos, 1, "()+-x10"[Rng() % 7]);
+      break;
+    default:
+      Source[Pos] = "()+-x10"[Rng() % 7];
+      break;
+    }
+  }
+  driver::PipelineOptions Options;
+  Options.MaxSteps = 2'000'000; // mutations may create long loops
+  driver::PipelineResult R = driver::runPipeline(Source, Options);
+  if (!R.ok()) {
+    EXPECT_TRUE(R.Diags.hasErrors()) << Source;
+    return;
+  }
+  // Still a valid program: full soundness properties must hold.
+  EXPECT_EQ(R.Afl.ResultText, R.Reference.ResultText) << Source;
+  EXPECT_LE(R.Afl.S.MaxValues, R.Conservative.S.MaxValues) << Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz, ::testing::Range(0u, 150u));
+
+} // namespace

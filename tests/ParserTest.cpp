@@ -1,0 +1,167 @@
+// Parser unit tests: shapes, precedence, associativity, error reporting,
+// and printer round-tripping.
+
+#include "ast/ASTContext.h"
+#include "ast/Expr.h"
+#include "ast/ExprPrinter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+using namespace afl::ast;
+
+namespace {
+
+const Expr *parseOk(ASTContext &Ctx, const std::string &Source) {
+  DiagnosticEngine Diags;
+  const Expr *E = parseExpr(Source, Ctx, Diags);
+  EXPECT_NE(E, nullptr) << Diags.str();
+  return E;
+}
+
+std::string parseError(const std::string &Source) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const Expr *E = parseExpr(Source, Ctx, Diags);
+  EXPECT_EQ(E, nullptr) << "expected a parse error for: " << Source;
+  return Diags.str();
+}
+
+TEST(Parser, Precedence) {
+  ASTContext Ctx;
+  // * binds tighter than +.
+  const auto *E = cast<BinOpExpr>(parseOk(Ctx, "1 + 2 * 3"));
+  EXPECT_EQ(E->op(), BinOpKind::Add);
+  EXPECT_EQ(cast<BinOpExpr>(E->rhs())->op(), BinOpKind::Mul);
+
+  // Comparison binds loosest among operators.
+  const auto *C = cast<BinOpExpr>(parseOk(Ctx, "1 + 2 < 3 * 4"));
+  EXPECT_EQ(C->op(), BinOpKind::Lt);
+
+  // :: binds between additive and comparison, right-associative.
+  const auto *L = cast<ConsExpr>(parseOk(Ctx, "1 :: 2 :: nil"));
+  EXPECT_TRUE(isa<IntLitExpr>(L->head()));
+  EXPECT_TRUE(isa<ConsExpr>(L->tail()));
+}
+
+TEST(Parser, ApplicationLeftAssociative) {
+  ASTContext Ctx;
+  const auto *E = cast<AppExpr>(parseOk(Ctx, "f x y"));
+  EXPECT_TRUE(isa<AppExpr>(E->fn()));
+  EXPECT_TRUE(isa<VarExpr>(E->arg()));
+}
+
+TEST(Parser, ApplicationBindsTighterThanOperators) {
+  ASTContext Ctx;
+  const auto *E = cast<BinOpExpr>(parseOk(Ctx, "f x + g y"));
+  EXPECT_EQ(E->op(), BinOpKind::Add);
+  EXPECT_TRUE(isa<AppExpr>(E->lhs()));
+  EXPECT_TRUE(isa<AppExpr>(E->rhs()));
+}
+
+TEST(Parser, UnaryMinusOnlyBeforeLiterals) {
+  ASTContext Ctx;
+  const auto *Neg = cast<IntLitExpr>(parseOk(Ctx, "(-5)"));
+  EXPECT_EQ(Neg->value(), -5);
+  // "f - 1" stays a subtraction (minus never starts an argument).
+  const auto *Sub = cast<BinOpExpr>(parseOk(Ctx, "f - 1"));
+  EXPECT_EQ(Sub->op(), BinOpKind::Sub);
+}
+
+TEST(Parser, FnExtendsRight) {
+  ASTContext Ctx;
+  const auto *L = cast<LambdaExpr>(parseOk(Ctx, "fn x => x + 1"));
+  EXPECT_TRUE(isa<BinOpExpr>(L->body()));
+}
+
+TEST(Parser, PairsAndUnit) {
+  ASTContext Ctx;
+  EXPECT_TRUE(isa<UnitLitExpr>(parseOk(Ctx, "()")));
+  const auto *P = cast<PairExpr>(parseOk(Ctx, "(1, 2)"));
+  EXPECT_TRUE(isa<IntLitExpr>(P->first()));
+  // Parenthesized expression is not a pair.
+  EXPECT_TRUE(isa<IntLitExpr>(parseOk(Ctx, "(1)")));
+}
+
+TEST(Parser, LetLetrecShapes) {
+  ASTContext Ctx;
+  const auto *L = cast<LetExpr>(parseOk(Ctx, "let x = 1 in x end"));
+  EXPECT_EQ(Ctx.text(L->name()), "x");
+  const auto *R =
+      cast<LetrecExpr>(parseOk(Ctx, "letrec f n = n in f 1 end"));
+  EXPECT_EQ(Ctx.text(R->fnName()), "f");
+  EXPECT_EQ(Ctx.text(R->param()), "n");
+}
+
+TEST(Parser, UnOpBindsTighterThanBinOp) {
+  ASTContext Ctx;
+  const auto *E = cast<BinOpExpr>(parseOk(Ctx, "hd l + 1"));
+  EXPECT_EQ(E->op(), BinOpKind::Add);
+  EXPECT_TRUE(isa<UnOpExpr>(E->lhs()));
+}
+
+TEST(Parser, Comments) {
+  ASTContext Ctx;
+  EXPECT_TRUE(isa<IntLitExpr>(
+      parseOk(Ctx, "(* a comment (* nested *) more *) 42")));
+}
+
+TEST(Parser, Errors) {
+  EXPECT_NE(parseError("let x 1 in x end").find("expected '='"),
+            std::string::npos);
+  EXPECT_NE(parseError("1 +").find("expected expression"),
+            std::string::npos);
+  EXPECT_NE(parseError("(1, 2").find("expected ')'"), std::string::npos);
+  EXPECT_NE(parseError("if 1 then 2").find("expected 'else'"),
+            std::string::npos);
+  EXPECT_NE(parseError("1 2 3 extra $").find("unexpected character"),
+            std::string::npos);
+  EXPECT_NE(parseError("fn => x").find("expected identifier"),
+            std::string::npos);
+  EXPECT_NE(parseError("(* unterminated").find("unterminated comment"),
+            std::string::npos);
+  EXPECT_NE(parseError("1 1v3x :").find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(Parser, TrailingInputRejected) {
+  EXPECT_NE(parseError("1 end").find("expected end of input"),
+            std::string::npos);
+}
+
+TEST(Printer, RoundTripsThroughParser) {
+  const char *Sources[] = {
+      "1 + 2 * 3",
+      "fn x => x + 1",
+      "let x = (1, 2) in fst x + snd x end",
+      "letrec f n = if n = 0 then 1 else n * f (n - 1) in f 5 end",
+      "1 :: 2 :: nil",
+      "if null nil then hd (1 :: nil) else 2",
+      "(fn f => f 1) (fn x => x)",
+      "3 mod 2 = 1",
+  };
+  for (const char *Source : Sources) {
+    std::string Src = Source;
+    ASTContext Ctx1;
+    const Expr *E1 = parseOk(Ctx1, Src);
+    ASSERT_NE(E1, nullptr);
+    std::string P1 = printExpr(E1, Ctx1.interner());
+    ASTContext Ctx2;
+    const Expr *E2 = parseOk(Ctx2, P1);
+    ASSERT_NE(E2, nullptr) << "printed form failed to parse: " << P1;
+    std::string P2 = printExpr(E2, Ctx2.interner());
+    EXPECT_EQ(P1, P2) << "print/parse/print not idempotent for " << Src;
+  }
+}
+
+TEST(Printer, NegativeLiteralsParenthesized) {
+  ASTContext Ctx;
+  const Expr *E = Ctx.app(Ctx.var("f"), Ctx.intLit(-1));
+  std::string P = printExpr(E, Ctx.interner());
+  EXPECT_EQ(P, "f ((-1))");
+  ASTContext Ctx2;
+  EXPECT_NE(parseOk(Ctx2, P), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+// End-to-end smoke tests: parse → type → region-infer → conservative
+// completion → instrumented run, differentially checked against the
+// region-oblivious reference interpreter.
+
+#include "ast/ASTContext.h"
+#include "completion/Conservative.h"
+#include "interp/Interp.h"
+#include "interp/RefInterp.h"
+#include "parser/Parser.h"
+#include "regions/RegionInference.h"
+#include "regions/RegionPrinter.h"
+#include "types/TypeInference.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+
+namespace {
+
+/// Runs the full conservative pipeline on \p Source and returns the
+/// rendered result, checking it against the reference interpreter.
+std::string runConservative(const std::string &Source) {
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *Root = parseExpr(Source, Ctx, Diags);
+  EXPECT_NE(Root, nullptr) << Diags.str();
+  if (!Root)
+    return "<parse error>";
+
+  types::TypedProgram Typed = types::inferTypes(Root, Ctx, Diags);
+  EXPECT_TRUE(Typed.Success) << Diags.str();
+  if (!Typed.Success)
+    return "<type error>";
+
+  std::unique_ptr<regions::RegionProgram> Prog =
+      regions::inferRegions(Root, Ctx, Typed, Diags);
+  EXPECT_NE(Prog, nullptr) << Diags.str();
+  if (!Prog)
+    return "<region error>";
+
+  regions::Completion C = completion::conservativeCompletion(*Prog);
+  interp::RunResult R = interp::run(*Prog, C);
+  EXPECT_TRUE(R.Ok) << R.Error << "\n"
+                    << regions::printRegionProgram(*Prog, &C);
+  if (!R.Ok)
+    return "<runtime error>";
+
+  interp::RefResult Ref = interp::runRef(Root, Ctx);
+  EXPECT_TRUE(Ref.Ok) << Ref.Error;
+  EXPECT_EQ(R.ResultText, Ref.ResultText);
+  return R.ResultText;
+}
+
+TEST(PipelineSmoke, IntLiteral) { EXPECT_EQ(runConservative("42"), "42"); }
+
+TEST(PipelineSmoke, Arith) {
+  EXPECT_EQ(runConservative("1 + 2 * 3 - 4"), "3");
+}
+
+TEST(PipelineSmoke, LetAndPair) {
+  EXPECT_EQ(runConservative("let x = (2, 3) in (fst x) + (snd x) end"), "5");
+}
+
+TEST(PipelineSmoke, PaperExample11) {
+  // Example 1.1 from the paper: (let z = (2,3) in fn y => (fst z, y) end) 5
+  EXPECT_EQ(runConservative("(let z = (2, 3) in fn y => (fst z, y) end) 5"),
+            "(2, 5)");
+}
+
+TEST(PipelineSmoke, IfAndCompare) {
+  EXPECT_EQ(runConservative("if 2 < 3 then 10 else 20"), "10");
+}
+
+TEST(PipelineSmoke, Lists) {
+  EXPECT_EQ(runConservative("1 :: 2 :: 3 :: nil"), "[1, 2, 3]");
+  EXPECT_EQ(runConservative("hd (tl (1 :: 2 :: 3 :: nil))"), "2");
+  EXPECT_EQ(runConservative("null nil"), "true");
+  EXPECT_EQ(runConservative("null (1 :: nil)"), "false");
+}
+
+TEST(PipelineSmoke, HigherOrder) {
+  EXPECT_EQ(runConservative(
+                "let twice = fn f => fn x => f (f x) in twice (fn n => n + 1) "
+                "5 end"),
+            "7");
+}
+
+TEST(PipelineSmoke, LetrecFactorial) {
+  EXPECT_EQ(runConservative("letrec fac n = if n = 0 then 1 else n * fac (n "
+                            "- 1) in fac 10 end"),
+            "3628800");
+}
+
+TEST(PipelineSmoke, LetrecFib) {
+  EXPECT_EQ(runConservative("letrec fib n = if n < 2 then n else fib (n - 1) "
+                            "+ fib (n - 2) in fib 10 end"),
+            "55");
+}
+
+TEST(PipelineSmoke, LetrecList) {
+  EXPECT_EQ(runConservative("letrec fromto n = if n = 0 then nil else n :: "
+                            "fromto (n - 1) in fromto 5 end"),
+            "[5, 4, 3, 2, 1]");
+}
+
+TEST(PipelineSmoke, PaperExample21Shape) {
+  // Example 2.1 shape: region-polymorphic f used at two different types of
+  // region instantiation.
+  EXPECT_EQ(runConservative("let i = 1 in let j = 2 in letrec f k = k + 1 in "
+                            "(f i) + (f j) end end end"),
+            "5");
+}
+
+TEST(PipelineSmoke, NestedLetrec) {
+  EXPECT_EQ(runConservative(
+                "letrec sum l = if null l then 0 else (hd l) + sum (tl l) in "
+                "letrec fromto n = if n = 0 then nil else n :: fromto (n - 1) "
+                "in sum (fromto 10) end end"),
+            "55");
+}
+
+TEST(PipelineSmoke, ClosureCapture) {
+  EXPECT_EQ(runConservative("let make = fn a => fn b => a * 10 + b in let f "
+                            "= make 3 in (f 1) + (f 2) end end"),
+            "63");
+}
+
+TEST(PipelineSmoke, ShadowingAndUnit) {
+  EXPECT_EQ(runConservative("let x = 1 in let x = x + 1 in x end end"), "2");
+  EXPECT_EQ(runConservative("let u = () in 7 end"), "7");
+}
+
+} // namespace

@@ -1,0 +1,57 @@
+// Tests for the random program generator itself: determinism, parse- and
+// type-validity, and option behavior.
+
+#include "ast/ASTContext.h"
+#include "parser/Parser.h"
+#include "programs/RandomProgram.h"
+#include "types/TypeInference.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+
+namespace {
+
+TEST(RandomProgram, Deterministic) {
+  for (unsigned Seed : {0u, 1u, 7u, 99u}) {
+    EXPECT_EQ(programs::generateRandomProgram(Seed),
+              programs::generateRandomProgram(Seed));
+  }
+  EXPECT_NE(programs::generateRandomProgram(1),
+            programs::generateRandomProgram(2));
+}
+
+TEST(RandomProgram, AlwaysParsesAndTypes) {
+  for (unsigned Seed = 5000; Seed != 5200; ++Seed) {
+    std::string Source = programs::generateRandomProgram(Seed);
+    SCOPED_TRACE("seed " + std::to_string(Seed) + ": " + Source);
+    ast::ASTContext Ctx;
+    DiagnosticEngine Diags;
+    const ast::Expr *E = parseExpr(Source, Ctx, Diags);
+    ASSERT_NE(E, nullptr) << Diags.str();
+    types::TypedProgram T = types::inferTypes(E, Ctx, Diags);
+    EXPECT_TRUE(T.Success) << Diags.str();
+  }
+}
+
+TEST(RandomProgram, FirstOrderOptionExcludesLambdas) {
+  programs::RandomProgramOptions Options;
+  Options.HigherOrder = false;
+  for (unsigned Seed = 0; Seed != 100; ++Seed) {
+    std::string Source = programs::generateRandomProgram(Seed, Options);
+    EXPECT_EQ(Source.find("fn "), std::string::npos)
+        << "seed " << Seed << ": " << Source;
+  }
+}
+
+TEST(RandomProgram, NoRecursionOptionExcludesLetrec) {
+  programs::RandomProgramOptions Options;
+  Options.Recursion = false;
+  for (unsigned Seed = 0; Seed != 100; ++Seed) {
+    std::string Source = programs::generateRandomProgram(Seed, Options);
+    EXPECT_EQ(Source.find("letrec"), std::string::npos)
+        << "seed " << Seed << ": " << Source;
+  }
+}
+
+} // namespace

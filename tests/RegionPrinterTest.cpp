@@ -1,0 +1,73 @@
+// Tests for the region-program printer: notation coverage and the
+// placement of completion operations in the rendered text.
+
+#include "driver/Pipeline.h"
+#include "programs/Corpus.h"
+#include "regions/RegionPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+
+namespace {
+
+TEST(RegionPrinter, ShowsCoreNotation) {
+  driver::PipelineResult R = driver::runPipeline(
+      "letrec f n = if n = 0 then (1, nil) else f (n - 1) in fst (f 2) "
+      "end");
+  ASSERT_TRUE(R.ok()) << R.Diags.str();
+  std::string S = regions::printRegionProgram(*R.Prog);
+  EXPECT_NE(S.find("program globals:"), std::string::npos);
+  EXPECT_NE(S.find("letregion"), std::string::npos);
+  EXPECT_NE(S.find("letrec f#"), std::string::npos);
+  EXPECT_NE(S.find("]("), std::string::npos); // formal list
+  EXPECT_NE(S.find("@r"), std::string::npos);
+  EXPECT_NE(S.find("pair@r"), std::string::npos);
+  EXPECT_NE(S.find("nil@r"), std::string::npos);
+  EXPECT_NE(S.find("fst"), std::string::npos);
+  EXPECT_NE(S.find("if"), std::string::npos);
+}
+
+TEST(RegionPrinter, CompletionOpsAppearInOrder) {
+  driver::PipelineResult R = driver::runPipeline("1 + 2");
+  ASSERT_TRUE(R.ok());
+  std::string S = regions::printRegionProgram(*R.Prog, &R.ConservativeC);
+  // Conservative: allocs precede the expression, frees follow.
+  size_t Alloc = S.find("alloc_before");
+  size_t Op = S.find("binop +");
+  size_t Free = S.find("free_after");
+  ASSERT_NE(Alloc, std::string::npos);
+  ASSERT_NE(Op, std::string::npos);
+  EXPECT_LT(Alloc, Op);
+  if (Free != std::string::npos) {
+    EXPECT_LT(Op, Free);
+  }
+}
+
+TEST(RegionPrinter, FreeAppRenderedInsideApply) {
+  driver::PipelineResult R =
+      driver::runPipeline(programs::example11Source());
+  ASSERT_TRUE(R.ok());
+  std::string S = regions::printRegionProgram(*R.Prog, &R.AflC);
+  size_t Apply = S.find("apply");
+  size_t FreeApp = S.find("free_app");
+  size_t EndApply = S.find("endapply");
+  ASSERT_NE(Apply, std::string::npos);
+  ASSERT_NE(FreeApp, std::string::npos);
+  ASSERT_NE(EndApply, std::string::npos);
+  EXPECT_LT(Apply, FreeApp);
+  EXPECT_LT(FreeApp, EndApply);
+}
+
+TEST(RegionPrinter, LambdaAndRegApp) {
+  driver::PipelineResult R = driver::runPipeline(
+      "let g = fn x => x + 1 in letrec f n = g n in f 3 end end");
+  ASSERT_TRUE(R.ok()) << R.Diags.str();
+  std::string S = regions::printRegionProgram(*R.Prog);
+  EXPECT_NE(S.find("(fn x#"), std::string::npos);
+  EXPECT_NE(S.find("f#"), std::string::npos);
+  // Region application of f shows the bracketed actuals.
+  EXPECT_NE(S.find("["), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+// Tests for the completion report (§7 programmer feedback).
+
+#include "completion/Report.h"
+#include "driver/Pipeline.h"
+#include "programs/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+using namespace afl::completion;
+
+namespace {
+
+TEST(Report, ConservativeIsAllLexical) {
+  driver::PipelineResult R =
+      driver::runPipeline(programs::example11Source());
+  ASSERT_TRUE(R.ok());
+  CompletionReport Rep = reportCompletion(*R.Prog, R.ConservativeC);
+  EXPECT_EQ(Rep.NumLateAlloc + Rep.NumEarlyFree + Rep.NumNonLexical, 0u);
+  EXPECT_EQ(Rep.NumLexical, Rep.Regions.size());
+}
+
+TEST(Report, AflFindsNonLexicalPlacements) {
+  driver::PipelineResult R =
+      driver::runPipeline(programs::example11Source());
+  ASSERT_TRUE(R.ok());
+  CompletionReport Rep = reportCompletion(*R.Prog, R.AflC);
+  // The paper's optimal completion moves every region off the lexical
+  // discipline on this example.
+  EXPECT_EQ(Rep.NumLexical, 0u);
+  EXPECT_GT(Rep.NumLateAlloc + Rep.NumNonLexical + Rep.NumEarlyFree, 0u);
+  // The closure region is freed by free_app.
+  bool SawFreeApp = false;
+  for (const RegionReport &RR : Rep.Regions)
+    SawFreeApp |= RR.NumFreeApp > 0;
+  EXPECT_TRUE(SawFreeApp);
+}
+
+TEST(Report, CountsAreConsistent) {
+  for (const programs::BenchProgram &P : programs::smallCorpus()) {
+    driver::PipelineResult R = driver::runPipeline(P.Source);
+    ASSERT_TRUE(R.ok()) << P.Name;
+    CompletionReport Rep = reportCompletion(*R.Prog, R.AflC);
+    EXPECT_EQ(Rep.NumLexical + Rep.NumLateAlloc + Rep.NumEarlyFree +
+                  Rep.NumNonLexical + Rep.NumUnused,
+              Rep.Regions.size())
+        << P.Name;
+    // Every region either never allocates or allocates somewhere.
+    for (const RegionReport &RR : Rep.Regions) {
+      if (RR.Class == RegionClass::Unused) {
+        EXPECT_TRUE(RR.AllocNodes.empty());
+      } else {
+        EXPECT_FALSE(RR.AllocNodes.empty());
+      }
+    }
+  }
+}
+
+TEST(Report, RendersText) {
+  driver::PipelineResult R = driver::runPipeline("1 + 2");
+  ASSERT_TRUE(R.ok());
+  std::string S = reportCompletion(*R.Prog, R.AflC).str();
+  EXPECT_NE(S.find("completion report:"), std::string::npos);
+  EXPECT_NE(S.find("r0"), std::string::npos);
+}
+
+TEST(Report, ClassNames) {
+  EXPECT_STREQ(name(RegionClass::Lexical), "lexical");
+  EXPECT_STREQ(name(RegionClass::LateAlloc), "late-alloc");
+  EXPECT_STREQ(name(RegionClass::EarlyFree), "early-free");
+  EXPECT_STREQ(name(RegionClass::NonLexical), "non-lexical");
+  EXPECT_STREQ(name(RegionClass::Unused), "unused");
+}
+
+} // namespace

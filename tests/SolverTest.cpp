@@ -1,0 +1,195 @@
+// Unit tests for the constraint solver: propagation rules for equality
+// and allocation/deallocation triples, the border-choice strategy
+// (late alloc / early free), and backtracking.
+
+#include "constraints/ConstraintSystem.h"
+#include "solver/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+using namespace afl::constraints;
+using namespace afl::solver;
+
+namespace {
+
+TEST(Solver, EqualityPropagates) {
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState(StA);
+  StateVarId S2 = Sys.newState();
+  StateVarId S3 = Sys.newState();
+  Sys.addEq(S1, S2);
+  Sys.addEq(S2, S3);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_EQ(R.StateDom[S2], StA);
+  EXPECT_EQ(R.StateDom[S3], StA);
+}
+
+TEST(Solver, InconsistentEqualityUnsat) {
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState(StA);
+  StateVarId S2 = Sys.newState(StD);
+  Sys.addEq(S1, S2);
+  SolveResult R = solve(Sys);
+  EXPECT_FALSE(R.Sat);
+}
+
+TEST(Solver, AllocTripleForcedTrue) {
+  // s1 = U and s2 = A with no overlap: the boolean must be true.
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState(StU);
+  StateVarId S2 = Sys.newState(StA);
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(S1, B, S2);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_TRUE(R.boolValue(B));
+}
+
+TEST(Solver, AllocTripleForcedFalse) {
+  // s1 = A already: allocation here is impossible; states equalize.
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState(StA);
+  StateVarId S2 = Sys.newState();
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(S1, B, S2);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_FALSE(R.boolValue(B));
+  EXPECT_EQ(R.StateDom[S2], StA);
+}
+
+TEST(Solver, DeallocTripleForcedTrue) {
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState(StA);
+  StateVarId S2 = Sys.newState(StD);
+  BoolVarId B = Sys.newBool();
+  Sys.addDeallocTriple(S1, B, S2);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_TRUE(R.boolValue(B));
+}
+
+TEST(Solver, LateAllocationPreferred) {
+  // Chain U --b1--> s --b2--> A. Both single allocations are legal; the
+  // border heuristic must pick the LATE one (b2), leaving s unallocated.
+  ConstraintSystem Sys;
+  StateVarId S0 = Sys.newState(StU);
+  StateVarId S1 = Sys.newState();
+  StateVarId S2 = Sys.newState(StA);
+  BoolVarId B1 = Sys.newBool();
+  BoolVarId B2 = Sys.newBool();
+  Sys.addAllocTriple(S0, B1, S1);
+  Sys.addAllocTriple(S1, B2, S2);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_FALSE(R.boolValue(B1));
+  EXPECT_TRUE(R.boolValue(B2));
+  EXPECT_EQ(R.StateDom[S1], StU);
+}
+
+TEST(Solver, EarlyFreePreferred) {
+  // Chain A --b1--> s --b2--> (end, unconstrained). Early free wins: b1.
+  ConstraintSystem Sys;
+  StateVarId S0 = Sys.newState(StA);
+  StateVarId S1 = Sys.newState();
+  StateVarId S2 = Sys.newState();
+  BoolVarId B1 = Sys.newBool();
+  BoolVarId B2 = Sys.newBool();
+  Sys.addDeallocTriple(S0, B1, S1);
+  Sys.addDeallocTriple(S1, B2, S2);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_TRUE(R.boolValue(B1));
+  EXPECT_FALSE(R.boolValue(B2));
+  EXPECT_EQ(R.StateDom[S1], StD);
+}
+
+TEST(Solver, MustStayAllocatedBetweenUses) {
+  // A region accessed at two points with a potential free between them:
+  // the free must be rejected (U→A→D is monotone; no re-allocation).
+  ConstraintSystem Sys;
+  StateVarId Use1 = Sys.newState(StA);
+  StateVarId Mid = Sys.newState();
+  StateVarId Use2 = Sys.newState(StA);
+  BoolVarId Free = Sys.newBool();
+  Sys.addDeallocTriple(Use1, Free, Mid);
+  Sys.addEq(Mid, Use2);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_FALSE(R.boolValue(Free));
+  EXPECT_EQ(R.StateDom[Mid], StA);
+}
+
+TEST(Solver, SharedBooleanAcrossContexts) {
+  // The same boolean drives triples in two contexts; context 2 forbids
+  // the allocation (its pre-state is already A), so context 1 must not
+  // allocate either.
+  ConstraintSystem Sys;
+  BoolVarId B = Sys.newBool();
+  StateVarId C1Pre = Sys.newState();
+  StateVarId C1Post = Sys.newState();
+  Sys.addAllocTriple(C1Pre, B, C1Post);
+  StateVarId C2Pre = Sys.newState(StA);
+  StateVarId C2Post = Sys.newState();
+  Sys.addAllocTriple(C2Pre, B, C2Post);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_FALSE(R.boolValue(B));
+}
+
+TEST(Solver, BacktracksOnBadBorderChoice) {
+  // Two independent alloc borders share one boolean through a diamond
+  // where choosing true first conflicts: U-chain with a forced-A middle.
+  //   S0(U) --B--> S1,  S1 = A required, and S0 also = A via equality
+  // Choosing B=true forces S0=U, conflicting with S0=A.
+  ConstraintSystem Sys;
+  StateVarId S0 = Sys.newState();
+  StateVarId S1 = Sys.newState(StA);
+  StateVarId SA = Sys.newState(StA);
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(S0, B, S1);
+  Sys.addEq(S0, SA);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_FALSE(R.boolValue(B));
+}
+
+TEST(Solver, AllBooleansAssignedWhenSat) {
+  ConstraintSystem Sys;
+  StateVarId S0 = Sys.newState();
+  StateVarId S1 = Sys.newState();
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(S0, B, S1);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_NE(R.BoolDom[B], BAny);
+  // Unforced booleans default to false (no operation).
+  EXPECT_FALSE(R.boolValue(B));
+}
+
+TEST(Solver, LongChainScales) {
+  // A long U ... A chain: exactly one allocation is chosen, at the end.
+  ConstraintSystem Sys;
+  const int N = 2000;
+  StateVarId Prev = Sys.newState(StU);
+  std::vector<BoolVarId> Bs;
+  for (int I = 0; I != N; ++I) {
+    StateVarId Next = Sys.newState();
+    BoolVarId B = Sys.newBool();
+    Sys.addAllocTriple(Prev, B, Next);
+    Bs.push_back(B);
+    Prev = Next;
+  }
+  Sys.restrictState(Prev, StA);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  int NumTrue = 0;
+  for (BoolVarId B : Bs)
+    NumTrue += R.boolValue(B);
+  EXPECT_EQ(NumTrue, 1);
+  EXPECT_TRUE(R.boolValue(Bs.back()));
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+// Unit tests for the support module: arena, interner, diagnostics.
+
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+
+namespace {
+
+TEST(Arena, AllocatesAligned) {
+  Arena A;
+  void *P1 = A.allocate(1, 1);
+  void *P8 = A.allocate(8, 8);
+  void *P16 = A.allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P8) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P16) % 16, 0u);
+  EXPECT_NE(P1, P8);
+  EXPECT_EQ(A.numAllocations(), 3u);
+}
+
+TEST(Arena, GrowsBeyondOneSlab) {
+  Arena A;
+  // Allocate more than the default slab size in chunks.
+  for (int I = 0; I != 300; ++I) {
+    void *P = A.allocate(1024, 8);
+    ASSERT_NE(P, nullptr);
+    // Touch the memory to catch bad slabs under sanitizers.
+    static_cast<char *>(P)[0] = static_cast<char>(I);
+    static_cast<char *>(P)[1023] = static_cast<char>(I);
+  }
+  EXPECT_GE(A.bytesReserved(), 300u * 1024u);
+}
+
+TEST(Arena, CreateConstructsObjects) {
+  struct Point {
+    int X, Y;
+    Point(int X, int Y) : X(X), Y(Y) {}
+  };
+  Arena A;
+  Point *P = A.create<Point>(3, 4);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(StringInterner, InternsAndDeduplicates) {
+  StringInterner SI;
+  Symbol A = SI.intern("foo");
+  Symbol B = SI.intern("bar");
+  Symbol C = SI.intern("foo");
+  EXPECT_TRUE(A.isValid());
+  EXPECT_EQ(A, C);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SI.text(A), "foo");
+  EXPECT_EQ(SI.text(B), "bar");
+  EXPECT_EQ(SI.size(), 2u);
+}
+
+TEST(StringInterner, DefaultSymbolIsInvalid) {
+  Symbol S;
+  EXPECT_FALSE(S.isValid());
+}
+
+TEST(StringInterner, ManyStringsKeepStableText) {
+  // Regression guard for the index-into-storage dangling-view bug: views
+  // must survive container growth.
+  StringInterner SI;
+  std::vector<Symbol> Syms;
+  for (int I = 0; I != 2000; ++I)
+    Syms.push_back(SI.intern("sym" + std::to_string(I)));
+  for (int I = 0; I != 2000; ++I) {
+    EXPECT_EQ(SI.text(Syms[I]), "sym" + std::to_string(I));
+    EXPECT_EQ(SI.intern("sym" + std::to_string(I)), Syms[I]);
+  }
+}
+
+TEST(Diagnostics, CollectsAndCounts) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc(1, 2), "watch out");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(3, 4), "boom");
+  D.note(SourceLoc(), "context");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.numErrors(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+  EXPECT_NE(D.str().find("3:4: error: boom"), std::string::npos);
+  EXPECT_NE(D.str().find("1:2: warning: watch out"), std::string::npos);
+  EXPECT_NE(D.str().find("<unknown>: note: context"), std::string::npos);
+}
+
+TEST(SourceLoc, Rendering) {
+  EXPECT_EQ(SourceLoc(7, 12).str(), "7:12");
+  EXPECT_EQ(SourceLoc().str(), "<unknown>");
+  EXPECT_TRUE(SourceLoc(1, 1).isValid());
+  EXPECT_FALSE(SourceLoc().isValid());
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+// Tests for trace summarization and its use on real runs.
+
+#include "driver/Pipeline.h"
+#include "interp/TraceAnalysis.h"
+#include "programs/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+using namespace afl::interp;
+
+namespace {
+
+TEST(TraceAnalysis, EmptyTrace) {
+  TraceSummary S = summarizeTrace({});
+  EXPECT_EQ(S.Peak, 0u);
+  EXPECT_EQ(S.SpaceTime, 0u);
+  EXPECT_EQ(S.Duration, 0u);
+}
+
+TEST(TraceAnalysis, HandComputed) {
+  std::vector<TracePoint> Trace = {
+      {1, 1}, {2, 2}, {3, 3}, {4, 2}, {5, 0},
+  };
+  TraceSummary S = summarizeTrace(Trace);
+  EXPECT_EQ(S.Peak, 3u);
+  EXPECT_EQ(S.PeakTime, 3u);
+  EXPECT_EQ(S.SpaceTime, 8u);
+  EXPECT_EQ(S.Final, 0u);
+  EXPECT_EQ(S.Duration, 5u);
+  EXPECT_DOUBLE_EQ(S.Mean, 8.0 / 5.0);
+}
+
+TEST(TraceAnalysis, AflSpaceTimeNeverWorseOnCorpus) {
+  // The space-time product is a stronger metric than the peak: A-F-L
+  // should beat T-T on it too (each value lives no longer).
+  for (const programs::BenchProgram &P : programs::smallCorpus()) {
+    driver::PipelineOptions Options;
+    Options.RecordTrace = true;
+    driver::PipelineResult R = driver::runPipeline(P.Source, Options);
+    ASSERT_TRUE(R.ok()) << P.Name;
+    TraceSummary TT = summarizeTrace(R.Conservative.Trace);
+    TraceSummary AFL = summarizeTrace(R.Afl.Trace);
+    EXPECT_LE(AFL.Peak, TT.Peak) << P.Name;
+    // Durations differ slightly (different numbers of region
+    // operations), so compare mean residency.
+    EXPECT_LE(AFL.Mean, TT.Mean * 1.01) << P.Name;
+  }
+}
+
+TEST(TraceAnalysis, PeakMatchesInterpreterStat) {
+  driver::PipelineOptions Options;
+  Options.RecordTrace = true;
+  driver::PipelineResult R =
+      driver::runPipeline(programs::fibSource(7), Options);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(summarizeTrace(R.Afl.Trace).Peak, R.Afl.S.MaxValues);
+  EXPECT_EQ(summarizeTrace(R.Conservative.Trace).Peak,
+            R.Conservative.S.MaxValues);
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+// Unit tests for ML type inference and the underlying type table.
+
+#include "ast/ASTContext.h"
+#include "parser/Parser.h"
+#include "types/TypeInference.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+using namespace afl::types;
+
+namespace {
+
+/// Infers types for \p Source and renders the root type.
+std::string typeOf(const std::string &Source) {
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr(Source, Ctx, Diags);
+  EXPECT_NE(E, nullptr) << Diags.str();
+  if (!E)
+    return "<parse error>";
+  TypedProgram T = inferTypes(E, Ctx, Diags);
+  if (!T.Success)
+    return "<type error: " + Diags.str() + ">";
+  return T.Table.str(T.typeOf(E));
+}
+
+bool typeErrors(const std::string &Source) {
+  return typeOf(Source).find("<type error") == 0;
+}
+
+TEST(TypeInference, Literals) {
+  EXPECT_EQ(typeOf("42"), "int");
+  EXPECT_EQ(typeOf("true"), "bool");
+  EXPECT_EQ(typeOf("()"), "unit");
+}
+
+TEST(TypeInference, Operators) {
+  EXPECT_EQ(typeOf("1 + 2"), "int");
+  EXPECT_EQ(typeOf("1 < 2"), "bool");
+  EXPECT_EQ(typeOf("1 = 2"), "bool");
+}
+
+TEST(TypeInference, PairsAndLists) {
+  EXPECT_EQ(typeOf("(1, true)"), "int * bool");
+  EXPECT_EQ(typeOf("fst (1, true)"), "int");
+  EXPECT_EQ(typeOf("snd (1, true)"), "bool");
+  EXPECT_EQ(typeOf("1 :: nil"), "int list");
+  EXPECT_EQ(typeOf("hd (1 :: nil)"), "int");
+  EXPECT_EQ(typeOf("tl (1 :: nil)"), "int list");
+  EXPECT_EQ(typeOf("null nil"), "bool");
+  EXPECT_EQ(typeOf("(1, 2) :: nil"), "(int * int) list");
+}
+
+TEST(TypeInference, Functions) {
+  EXPECT_EQ(typeOf("fn x => x + 1"), "int -> int");
+  EXPECT_EQ(typeOf("(fn x => x + 1) 2"), "int");
+  // Unconstrained type variables default to int after inference.
+  EXPECT_EQ(typeOf("fn f => f 1"), "(int -> int) -> int");
+  EXPECT_EQ(typeOf("fn x => fn y => (x, y + 0)"),
+            "int -> int -> int * int");
+}
+
+TEST(TypeInference, LetAndLetrec) {
+  EXPECT_EQ(typeOf("let x = 1 in x :: nil end"), "int list");
+  EXPECT_EQ(typeOf("letrec f n = if n = 0 then nil else n :: f (n - 1) in "
+                   "f 3 end"),
+            "int list");
+}
+
+TEST(TypeInference, ResidualVarsDefaultToInt) {
+  // The element type of an unused nil is unconstrained; downstream phases
+  // need ground types, so it defaults to int.
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr("nil", Ctx, Diags);
+  TypedProgram T = inferTypes(E, Ctx, Diags);
+  ASSERT_TRUE(T.Success);
+  EXPECT_EQ(T.Table.str(T.typeOf(E)), "int list");
+}
+
+TEST(TypeInference, Errors) {
+  EXPECT_TRUE(typeErrors("1 + true"));
+  EXPECT_TRUE(typeErrors("if 1 then 2 else 3"));
+  EXPECT_TRUE(typeErrors("if true then 1 else false"));
+  EXPECT_TRUE(typeErrors("fst 1"));
+  EXPECT_TRUE(typeErrors("hd 1"));
+  EXPECT_TRUE(typeErrors("1 :: true :: nil"));
+  EXPECT_TRUE(typeErrors("1 2"));
+  EXPECT_TRUE(typeErrors("unknown_var"));
+  EXPECT_TRUE(typeErrors("fn x => x x")); // occurs check
+}
+
+TEST(TypeInference, ParamTypesRecorded) {
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr("fn x => x + 1", Ctx, Diags);
+  TypedProgram T = inferTypes(E, Ctx, Diags);
+  ASSERT_TRUE(T.Success);
+  EXPECT_EQ(T.Table.str(T.paramTypeOf(E)), "int");
+}
+
+TEST(TypeTable, UnifyAndFind) {
+  TypeTable TT;
+  TypeId V1 = TT.freshVar();
+  TypeId V2 = TT.freshVar();
+  EXPECT_TRUE(TT.unify(V1, V2));
+  EXPECT_EQ(TT.find(V1), TT.find(V2));
+  EXPECT_TRUE(TT.unify(V1, TT.intType()));
+  EXPECT_EQ(TT.kind(V2), TypeKind::Int);
+}
+
+TEST(TypeTable, StructuralUnify) {
+  TypeTable TT;
+  TypeId V = TT.freshVar();
+  TypeId A1 = TT.arrow(TT.intType(), V);
+  TypeId A2 = TT.arrow(TT.intType(), TT.boolType());
+  EXPECT_TRUE(TT.unify(A1, A2));
+  EXPECT_EQ(TT.kind(V), TypeKind::Bool);
+  EXPECT_FALSE(TT.unify(TT.intType(), TT.boolType()));
+  EXPECT_FALSE(TT.unify(A1, TT.pair(TT.intType(), TT.boolType())));
+}
+
+TEST(TypeTable, OccursCheck) {
+  TypeTable TT;
+  TypeId V = TT.freshVar();
+  TypeId A = TT.arrow(V, TT.intType());
+  EXPECT_FALSE(TT.unify(V, A));
+}
+
+} // namespace

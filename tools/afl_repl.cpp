@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// afl_repl — interactive exploration of the analyses, the spiritual
+/// successor of the paper's §6 remote-experimentation web page
+/// ("http://kiwi.cs.berkeley.edu/~nogc").
+///
+/// Enter a program (finish with an empty line) to see its result and the
+/// T-T vs A-F-L memory comparison. Commands:
+///   :afl      also print the A-F-L-completed program
+///   :tt       also print the conservative completion
+///   :report   also print the completion report
+///   :quiet    print only the result and the metric table (default)
+///   :quit     exit
+///
+//===----------------------------------------------------------------------===//
+
+#include "completion/Report.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+using namespace afl;
+
+int main() {
+  bool ShowAfl = false, ShowTT = false, ShowReport = false;
+  std::printf("aflregion repl — enter a program, finish with an empty "
+              "line; :quit to exit\n");
+
+  std::string Buffer;
+  std::string Line;
+  for (;;) {
+    std::printf(Buffer.empty() ? "afl> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, Line))
+      break;
+
+    if (Buffer.empty() && !Line.empty() && Line[0] == ':') {
+      if (Line == ":quit" || Line == ":q")
+        break;
+      if (Line == ":afl")
+        ShowAfl = !ShowAfl;
+      else if (Line == ":tt")
+        ShowTT = !ShowTT;
+      else if (Line == ":report")
+        ShowReport = !ShowReport;
+      else if (Line == ":quiet")
+        ShowAfl = ShowTT = ShowReport = false;
+      else
+        std::printf("unknown command %s\n", Line.c_str());
+      continue;
+    }
+
+    if (!Line.empty()) {
+      Buffer += Line;
+      Buffer += '\n';
+      continue;
+    }
+    if (Buffer.empty())
+      continue;
+
+    std::string Source = std::move(Buffer);
+    Buffer.clear();
+    driver::PipelineResult R = driver::runPipeline(Source);
+    if (!R.ok()) {
+      std::printf("%s", R.Diags.str().c_str());
+      continue;
+    }
+
+    if (ShowTT)
+      std::printf("--- Tofte/Talpin ---\n%s\n",
+                  R.printConservative().c_str());
+    if (ShowAfl)
+      std::printf("--- A-F-L ---\n%s\n", R.printAfl().c_str());
+    if (ShowReport)
+      std::printf("%s\n",
+                  completion::reportCompletion(*R.Prog, R.AflC)
+                      .str()
+                      .c_str());
+
+    std::printf("result: %s\n", R.Afl.ResultText.c_str());
+    std::printf("%-24s %10s %10s\n", "", "T-T", "A-F-L");
+    std::printf("%-24s %10llu %10llu\n", "max values held",
+                (unsigned long long)R.Conservative.S.MaxValues,
+                (unsigned long long)R.Afl.S.MaxValues);
+    std::printf("%-24s %10llu %10llu\n", "max regions",
+                (unsigned long long)R.Conservative.S.MaxRegions,
+                (unsigned long long)R.Afl.S.MaxRegions);
+    std::printf("%-24s %10llu %10llu\n", "values in final memory",
+                (unsigned long long)R.Conservative.S.FinalValues,
+                (unsigned long long)R.Afl.S.FinalValues);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,214 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// aflc — the command-line driver for the aflregion pipeline.
+///
+/// Usage:
+///   aflc [options] '<program text>'
+///   aflc [options] -f program.ml
+///   aflc [options] @appel 25            (builtin corpus programs)
+///
+/// Options:
+///   --emit=afl|tt|both   print the completed program(s) (default: afl)
+///   --report             print the completion report (§7 feedback)
+///   --stats              print the five Table 2 metrics for both systems
+///   --trace=FILE         write the memory-over-time CSV traces to FILE
+///   --validate           run the structural validators and report
+///   --no-freeapp         ablation: disable free_app choice points
+///   --lexical-alloc      ablation: allocation only at letregion entry
+///   --lexical-free       ablation: deallocation only at letregion exit
+///   --no-run             analysis only (skip the instrumented runs)
+///
+//===----------------------------------------------------------------------===//
+
+#include "closure/ClosureAnalysis.h"
+#include "completion/Report.h"
+#include "constraints/ConstraintPrinter.h"
+#include "driver/Pipeline.h"
+#include "programs/Corpus.h"
+#include "regions/RegionPrinter.h"
+#include "regions/Validator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace afl;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: aflc [options] '<program>' | -f FILE | @builtin [N]\n"
+      "  --emit=afl|tt|both  print completed program(s)\n"
+      "  --report            completion report\n"
+      "  --stats             memory metrics for both systems\n"
+      "  --trace=FILE        write CSV traces\n"
+      "  --validate          run structural validators\n"
+      "  --no-freeapp --lexical-alloc --lexical-free   ablations\n"
+      "  --dump-constraints  print the generated constraint system\n"
+      "  --no-run            skip instrumented runs\n");
+}
+
+std::string builtinSource(const std::string &Name, int N) {
+  if (Name == "@appel")
+    return programs::appelSource(N);
+  if (Name == "@quicksort")
+    return programs::quicksortSource(N);
+  if (Name == "@fib")
+    return programs::fibSource(N);
+  if (Name == "@randlist")
+    return programs::randlistSource(N);
+  if (Name == "@fac")
+    return programs::facSource(N);
+  if (Name == "@example11")
+    return programs::example11Source();
+  if (Name == "@example21")
+    return programs::example21Source();
+  std::fprintf(stderr, "aflc: unknown builtin '%s'\n", Name.c_str());
+  std::exit(1);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Emit = "afl";
+  bool Report = false, Stats = false, Validate = false, NoRun = false;
+  bool DumpConstraints = false;
+  std::string TraceFile;
+  std::string Source;
+  constraints::GenOptions Gen;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--emit=", 0) == 0) {
+      Emit = Arg.substr(7);
+      if (Emit != "afl" && Emit != "tt" && Emit != "both") {
+        usage();
+        return 2;
+      }
+    } else if (Arg == "--report") {
+      Report = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--validate") {
+      Validate = true;
+    } else if (Arg == "--no-run") {
+      NoRun = true;
+    } else if (Arg == "--dump-constraints") {
+      DumpConstraints = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TraceFile = Arg.substr(8);
+    } else if (Arg == "--no-freeapp") {
+      Gen.FreeApp = false;
+    } else if (Arg == "--lexical-alloc") {
+      Gen.LateAlloc = false;
+    } else if (Arg == "--lexical-free") {
+      Gen.EarlyFree = false;
+    } else if (Arg == "-f") {
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      std::ifstream In(Argv[I]);
+      if (!In) {
+        std::fprintf(stderr, "aflc: cannot open '%s'\n", Argv[I]);
+        return 1;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Source = SS.str();
+    } else if (!Arg.empty() && Arg[0] == '@') {
+      int N = 10;
+      if (I + 1 < Argc && isdigit(static_cast<unsigned char>(Argv[I + 1][0])))
+        N = std::atoi(Argv[++I]);
+      Source = builtinSource(Arg, N);
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      Source = Arg;
+    }
+  }
+  if (Source.empty()) {
+    usage();
+    return 2;
+  }
+
+  driver::PipelineOptions Options;
+  Options.SkipRuns = NoRun;
+  Options.RecordTrace = !TraceFile.empty();
+  Options.GenOptions = Gen;
+  driver::PipelineResult R = driver::runPipeline(Source, Options);
+  if (!R.ok()) {
+    std::fprintf(stderr, "aflc: pipeline failed:\n%s", R.Diags.str().c_str());
+    return 1;
+  }
+
+  if (Emit == "tt" || Emit == "both")
+    std::printf("=== Tofte/Talpin ===\n%s\n", R.printConservative().c_str());
+  if (Emit == "afl" || Emit == "both")
+    std::printf("=== A-F-L ===\n%s\n", R.printAfl().c_str());
+
+  if (Validate) {
+    std::vector<std::string> E1 = regions::validateRegionProgram(*R.Prog);
+    std::vector<std::string> E2 = regions::validateCompletion(*R.Prog, R.AflC);
+    std::vector<std::string> E3 =
+        regions::validateCompletion(*R.Prog, R.ConservativeC);
+    size_t Total = E1.size() + E2.size() + E3.size();
+    std::printf("validation: %zu issue(s)\n", Total);
+    for (const auto *Set : {&E1, &E2, &E3})
+      for (const std::string &Message : *Set)
+        std::printf("  %s\n", Message.c_str());
+    if (Total)
+      return 1;
+  }
+
+  if (Report)
+    std::printf("%s", completion::reportCompletion(*R.Prog, R.AflC)
+                          .str()
+                          .c_str());
+
+  if (DumpConstraints) {
+    closure::ClosureAnalysis CA(*R.Prog);
+    CA.run();
+    constraints::GenResult DGen =
+        constraints::generateConstraints(*R.Prog, CA, Gen);
+    std::printf("%s", constraints::dumpSystem(DGen).c_str());
+  }
+
+  if (Stats && !NoRun) {
+    std::printf("%-28s %12s %12s\n", "metric", "T-T", "A-F-L");
+    auto Row = [](const char *Name, uint64_t T, uint64_t A) {
+      std::printf("%-28s %12llu %12llu\n", Name, (unsigned long long)T,
+                  (unsigned long long)A);
+    };
+    Row("max regions", R.Conservative.S.MaxRegions, R.Afl.S.MaxRegions);
+    Row("region allocations", R.Conservative.S.TotalRegionAllocs,
+        R.Afl.S.TotalRegionAllocs);
+    Row("value allocations", R.Conservative.S.TotalValueAllocs,
+        R.Afl.S.TotalValueAllocs);
+    Row("max values held", R.Conservative.S.MaxValues, R.Afl.S.MaxValues);
+    Row("final values", R.Conservative.S.FinalValues, R.Afl.S.FinalValues);
+    std::printf("result: %s\n", R.Afl.ResultText.c_str());
+  }
+
+  if (!TraceFile.empty() && !NoRun) {
+    std::ofstream Out(TraceFile);
+    if (!Out) {
+      std::fprintf(stderr, "aflc: cannot write '%s'\n", TraceFile.c_str());
+      return 1;
+    }
+    Out << "series,time,values\n";
+    for (const interp::TracePoint &P : R.Conservative.Trace)
+      Out << "Tofte/Talpin," << P.Time << ',' << P.ValuesHeld << '\n';
+    for (const interp::TracePoint &P : R.Afl.Trace)
+      Out << "A-F-L," << P.Time << ',' << P.ValuesHeld << '\n';
+    std::fprintf(stderr, "aflc: wrote traces to %s\n", TraceFile.c_str());
+  }
+  return 0;
+}

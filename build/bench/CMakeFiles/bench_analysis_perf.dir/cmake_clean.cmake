@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_perf.dir/bench_analysis_perf.cpp.o"
+  "CMakeFiles/bench_analysis_perf.dir/bench_analysis_perf.cpp.o.d"
+  "bench_analysis_perf"
+  "bench_analysis_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_appel.dir/bench_fig5_appel.cpp.o"
+  "CMakeFiles/bench_fig5_appel.dir/bench_fig5_appel.cpp.o.d"
+  "bench_fig5_appel"
+  "bench_fig5_appel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_appel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

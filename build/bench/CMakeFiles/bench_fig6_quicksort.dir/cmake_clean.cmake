@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_quicksort.dir/bench_fig6_quicksort.cpp.o"
+  "CMakeFiles/bench_fig6_quicksort.dir/bench_fig6_quicksort.cpp.o.d"
+  "bench_fig6_quicksort"
+  "bench_fig6_quicksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_quicksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

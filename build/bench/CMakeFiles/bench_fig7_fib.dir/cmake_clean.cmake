@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fib.dir/bench_fig7_fib.cpp.o"
+  "CMakeFiles/bench_fig7_fib.dir/bench_fig7_fib.cpp.o.d"
+  "bench_fig7_fib"
+  "bench_fig7_fib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

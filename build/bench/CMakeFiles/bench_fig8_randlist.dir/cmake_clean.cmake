@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_randlist.dir/bench_fig8_randlist.cpp.o"
+  "CMakeFiles/bench_fig8_randlist.dir/bench_fig8_randlist.cpp.o.d"
+  "bench_fig8_randlist"
+  "bench_fig8_randlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_randlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

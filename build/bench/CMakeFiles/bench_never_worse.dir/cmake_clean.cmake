@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_never_worse.dir/bench_never_worse.cpp.o"
+  "CMakeFiles/bench_never_worse.dir/bench_never_worse.cpp.o.d"
+  "bench_never_worse"
+  "bench_never_worse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_never_worse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

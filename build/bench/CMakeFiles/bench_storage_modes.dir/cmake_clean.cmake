@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_modes.dir/bench_storage_modes.cpp.o"
+  "CMakeFiles/bench_storage_modes.dir/bench_storage_modes.cpp.o.d"
+  "bench_storage_modes"
+  "bench_storage_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appel_asymptotics.dir/appel_asymptotics.cpp.o"
+  "CMakeFiles/appel_asymptotics.dir/appel_asymptotics.cpp.o.d"
+  "appel_asymptotics"
+  "appel_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appel_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appel_asymptotics.
+# This may be replaced when dependencies are built.

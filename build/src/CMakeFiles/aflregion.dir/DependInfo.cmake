@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ExprPrinter.cpp" "src/CMakeFiles/aflregion.dir/ast/ExprPrinter.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/ast/ExprPrinter.cpp.o.d"
+  "/root/repo/src/closure/AbstractEnv.cpp" "src/CMakeFiles/aflregion.dir/closure/AbstractEnv.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/closure/AbstractEnv.cpp.o.d"
+  "/root/repo/src/closure/ClosureAnalysis.cpp" "src/CMakeFiles/aflregion.dir/closure/ClosureAnalysis.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/closure/ClosureAnalysis.cpp.o.d"
+  "/root/repo/src/completion/AflCompletion.cpp" "src/CMakeFiles/aflregion.dir/completion/AflCompletion.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/completion/AflCompletion.cpp.o.d"
+  "/root/repo/src/completion/Conservative.cpp" "src/CMakeFiles/aflregion.dir/completion/Conservative.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/completion/Conservative.cpp.o.d"
+  "/root/repo/src/completion/Report.cpp" "src/CMakeFiles/aflregion.dir/completion/Report.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/completion/Report.cpp.o.d"
+  "/root/repo/src/completion/StorageModes.cpp" "src/CMakeFiles/aflregion.dir/completion/StorageModes.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/completion/StorageModes.cpp.o.d"
+  "/root/repo/src/constraints/ConstraintGen.cpp" "src/CMakeFiles/aflregion.dir/constraints/ConstraintGen.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/constraints/ConstraintGen.cpp.o.d"
+  "/root/repo/src/constraints/ConstraintPrinter.cpp" "src/CMakeFiles/aflregion.dir/constraints/ConstraintPrinter.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/constraints/ConstraintPrinter.cpp.o.d"
+  "/root/repo/src/driver/Pipeline.cpp" "src/CMakeFiles/aflregion.dir/driver/Pipeline.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/driver/Pipeline.cpp.o.d"
+  "/root/repo/src/interp/Interp.cpp" "src/CMakeFiles/aflregion.dir/interp/Interp.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/interp/Interp.cpp.o.d"
+  "/root/repo/src/interp/RefInterp.cpp" "src/CMakeFiles/aflregion.dir/interp/RefInterp.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/interp/RefInterp.cpp.o.d"
+  "/root/repo/src/interp/TraceAnalysis.cpp" "src/CMakeFiles/aflregion.dir/interp/TraceAnalysis.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/interp/TraceAnalysis.cpp.o.d"
+  "/root/repo/src/lexer/Lexer.cpp" "src/CMakeFiles/aflregion.dir/lexer/Lexer.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/lexer/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/CMakeFiles/aflregion.dir/parser/Parser.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/parser/Parser.cpp.o.d"
+  "/root/repo/src/programs/Corpus.cpp" "src/CMakeFiles/aflregion.dir/programs/Corpus.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/programs/Corpus.cpp.o.d"
+  "/root/repo/src/programs/RandomProgram.cpp" "src/CMakeFiles/aflregion.dir/programs/RandomProgram.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/programs/RandomProgram.cpp.o.d"
+  "/root/repo/src/regions/RegionFinalize.cpp" "src/CMakeFiles/aflregion.dir/regions/RegionFinalize.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/regions/RegionFinalize.cpp.o.d"
+  "/root/repo/src/regions/RegionInference.cpp" "src/CMakeFiles/aflregion.dir/regions/RegionInference.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/regions/RegionInference.cpp.o.d"
+  "/root/repo/src/regions/RegionPrinter.cpp" "src/CMakeFiles/aflregion.dir/regions/RegionPrinter.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/regions/RegionPrinter.cpp.o.d"
+  "/root/repo/src/regions/RegionProgram.cpp" "src/CMakeFiles/aflregion.dir/regions/RegionProgram.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/regions/RegionProgram.cpp.o.d"
+  "/root/repo/src/regions/RegionTypes.cpp" "src/CMakeFiles/aflregion.dir/regions/RegionTypes.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/regions/RegionTypes.cpp.o.d"
+  "/root/repo/src/regions/Validator.cpp" "src/CMakeFiles/aflregion.dir/regions/Validator.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/regions/Validator.cpp.o.d"
+  "/root/repo/src/solver/Solver.cpp" "src/CMakeFiles/aflregion.dir/solver/Solver.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/solver/Solver.cpp.o.d"
+  "/root/repo/src/support/Arena.cpp" "src/CMakeFiles/aflregion.dir/support/Arena.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/support/Arena.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/aflregion.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/SourceLoc.cpp" "src/CMakeFiles/aflregion.dir/support/SourceLoc.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/support/SourceLoc.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "src/CMakeFiles/aflregion.dir/support/StringInterner.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/support/StringInterner.cpp.o.d"
+  "/root/repo/src/types/Type.cpp" "src/CMakeFiles/aflregion.dir/types/Type.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/types/Type.cpp.o.d"
+  "/root/repo/src/types/TypeInference.cpp" "src/CMakeFiles/aflregion.dir/types/TypeInference.cpp.o" "gcc" "src/CMakeFiles/aflregion.dir/types/TypeInference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

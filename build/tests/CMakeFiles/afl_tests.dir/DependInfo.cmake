@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ClosureAnalysisTest.cpp" "tests/CMakeFiles/afl_tests.dir/ClosureAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/ClosureAnalysisTest.cpp.o.d"
+  "/root/repo/tests/CompletionTest.cpp" "tests/CMakeFiles/afl_tests.dir/CompletionTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/CompletionTest.cpp.o.d"
+  "/root/repo/tests/ConstraintPrinterTest.cpp" "tests/CMakeFiles/afl_tests.dir/ConstraintPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/ConstraintPrinterTest.cpp.o.d"
+  "/root/repo/tests/CorpusTest.cpp" "tests/CMakeFiles/afl_tests.dir/CorpusTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/CorpusTest.cpp.o.d"
+  "/root/repo/tests/DriverTest.cpp" "tests/CMakeFiles/afl_tests.dir/DriverTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/DriverTest.cpp.o.d"
+  "/root/repo/tests/EscapePoolTest.cpp" "tests/CMakeFiles/afl_tests.dir/EscapePoolTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/EscapePoolTest.cpp.o.d"
+  "/root/repo/tests/ExhaustiveTest.cpp" "tests/CMakeFiles/afl_tests.dir/ExhaustiveTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/ExhaustiveTest.cpp.o.d"
+  "/root/repo/tests/InterpTest.cpp" "tests/CMakeFiles/afl_tests.dir/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/InterpTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/afl_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/PaperExamplesTest.cpp" "tests/CMakeFiles/afl_tests.dir/PaperExamplesTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/PaperExamplesTest.cpp.o.d"
+  "/root/repo/tests/ParserFuzzTest.cpp" "tests/CMakeFiles/afl_tests.dir/ParserFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/ParserFuzzTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/afl_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PatternBinderTest.cpp" "tests/CMakeFiles/afl_tests.dir/PatternBinderTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/PatternBinderTest.cpp.o.d"
+  "/root/repo/tests/PipelineSmokeTest.cpp" "tests/CMakeFiles/afl_tests.dir/PipelineSmokeTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/PipelineSmokeTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/afl_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/RandomProgramTest.cpp" "tests/CMakeFiles/afl_tests.dir/RandomProgramTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/RandomProgramTest.cpp.o.d"
+  "/root/repo/tests/RegionInferenceTest.cpp" "tests/CMakeFiles/afl_tests.dir/RegionInferenceTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/RegionInferenceTest.cpp.o.d"
+  "/root/repo/tests/RegionPrinterTest.cpp" "tests/CMakeFiles/afl_tests.dir/RegionPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/RegionPrinterTest.cpp.o.d"
+  "/root/repo/tests/RegionTypesTest.cpp" "tests/CMakeFiles/afl_tests.dir/RegionTypesTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/RegionTypesTest.cpp.o.d"
+  "/root/repo/tests/ReportTest.cpp" "tests/CMakeFiles/afl_tests.dir/ReportTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/ReportTest.cpp.o.d"
+  "/root/repo/tests/ScalingTest.cpp" "tests/CMakeFiles/afl_tests.dir/ScalingTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/ScalingTest.cpp.o.d"
+  "/root/repo/tests/SolverTest.cpp" "tests/CMakeFiles/afl_tests.dir/SolverTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/SolverTest.cpp.o.d"
+  "/root/repo/tests/StorageModesTest.cpp" "tests/CMakeFiles/afl_tests.dir/StorageModesTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/StorageModesTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/afl_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TraceAnalysisTest.cpp" "tests/CMakeFiles/afl_tests.dir/TraceAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/TraceAnalysisTest.cpp.o.d"
+  "/root/repo/tests/TypeInferenceTest.cpp" "tests/CMakeFiles/afl_tests.dir/TypeInferenceTest.cpp.o" "gcc" "tests/CMakeFiles/afl_tests.dir/TypeInferenceTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aflregion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_repl.dir/afl_repl.cpp.o"
+  "CMakeFiles/afl_repl.dir/afl_repl.cpp.o.d"
+  "afl_repl"
+  "afl_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

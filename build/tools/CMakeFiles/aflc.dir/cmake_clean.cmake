@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aflc.dir/aflc.cpp.o"
+  "CMakeFiles/aflc.dir/aflc.cpp.o.d"
+  "aflc"
+  "aflc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aflc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

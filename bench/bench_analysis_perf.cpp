@@ -14,6 +14,8 @@
 #include "closure/ClosureAnalysis.h"
 #include "completion/AflCompletion.h"
 #include "constraints/ConstraintGen.h"
+#include "driver/BatchRunner.h"
+#include "driver/Pipeline.h"
 #include "parser/Parser.h"
 #include "programs/Corpus.h"
 #include "regions/RegionInference.h"
@@ -161,6 +163,57 @@ void BM_FullAnalysis_Corpus(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_FullAnalysis_Corpus)->DenseRange(0, 4);
+
+/// End-to-end pipeline with the per-stage breakdown surfaced as
+/// counters: instead of one opaque total, each stage's share of the
+/// wall time is reported (in milliseconds, averaged over iterations).
+void BM_FullPipeline_Stages(benchmark::State &State) {
+  std::string Src = chainProgram(static_cast<int>(State.range(0)));
+  driver::PipelineStats Agg;
+  uint64_t Iters = 0;
+  for (auto _ : State) {
+    driver::PipelineResult R = driver::runPipeline(Src);
+    benchmark::DoNotOptimize(R.Ok);
+    Agg.accumulate(R.Stats);
+    ++Iters;
+  }
+  auto Ms = [&](double Seconds) {
+    return Seconds * 1e3 / static_cast<double>(Iters ? Iters : 1);
+  };
+  State.counters["parse_ms"] = Ms(Agg.ParseSeconds);
+  State.counters["regions_ms"] = Ms(Agg.RegionInferSeconds);
+  State.counters["closure_ms"] = Ms(Agg.ClosureSeconds);
+  State.counters["congen_ms"] = Ms(Agg.ConstraintGenSeconds);
+  State.counters["solve_ms"] = Ms(Agg.SolveSeconds);
+  State.counters["run_ms"] =
+      Ms(Agg.RunConservativeSeconds + Agg.RunAflSeconds +
+         Agg.RunReferenceSeconds);
+}
+BENCHMARK(BM_FullPipeline_Stages)->Arg(4)->Arg(8)->Arg(16);
+
+/// Batch throughput: the whole small corpus through the thread-pooled
+/// runner at increasing worker counts — the parallel hot path a service
+/// tier would exercise.
+void BM_BatchThroughput(benchmark::State &State) {
+  // Replicate the corpus so the queue is deeper than the longest single
+  // item — otherwise the critical path is one program and adding
+  // workers cannot help.
+  std::vector<driver::BatchItem> Work;
+  for (int Round = 0; Round != 8; ++Round)
+    for (const programs::BenchProgram &P : programs::smallCorpus())
+      Work.push_back({P.Name + "#" + std::to_string(Round), P.Source});
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    driver::BatchResult B =
+        driver::runBatch(Work, driver::PipelineOptions(), Threads);
+    benchmark::DoNotOptimize(B.NumOk);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Work.size()));
+}
+// Real time, not CPU time: the work happens on pool threads, so the
+// main thread's CPU clock would make the rate meaningless.
+BENCHMARK(BM_BatchThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 } // namespace
 

@@ -4,6 +4,7 @@
 #include "completion/Conservative.h"
 #include "constraints/ConstraintGen.h"
 #include "solver/Solver.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 
@@ -14,14 +15,22 @@ using namespace afl::regions;
 Completion completion::aflCompletion(const RegionProgram &Prog,
                                      AflStats *Stats,
                                      const constraints::GenOptions &Options) {
+  Stopwatch Watch;
   closure::ClosureAnalysis CA(Prog);
   unsigned Passes = CA.run();
+  double ClosureSeconds = Watch.seconds();
 
+  Watch.reset();
   constraints::GenResult Gen =
       constraints::generateConstraints(Prog, CA, Options);
+  double GenSeconds = Watch.seconds();
   solver::SolveResult Sol = solver::solve(Gen.Sys);
+  Watch.reset();
 
   if (Stats) {
+    Stats->ClosureSeconds = ClosureSeconds;
+    Stats->ConstraintGenSeconds = GenSeconds;
+    Stats->SolveSeconds = Sol.Seconds;
     Stats->ClosurePasses = Passes;
     Stats->NumContexts = Gen.NumContexts;
     Stats->NumClosures = CA.numClosures();
@@ -66,5 +75,7 @@ Completion completion::aflCompletion(const RegionProgram &Prog,
   SortOps(Out.Pre);
   SortOps(Out.Post);
   SortOps(Out.FreeApp);
+  if (Stats)
+    Stats->ExtractSeconds = Watch.seconds();
   return Out;
 }

@@ -32,6 +32,11 @@ struct AflStats {
   uint64_t SolverPropagations = 0;
   uint64_t SolverChoices = 0;
   uint64_t SolverBacktracks = 0;
+  /// Wall-clock seconds per analysis sub-stage (see docs/OBSERVABILITY.md).
+  double ClosureSeconds = 0;
+  double ConstraintGenSeconds = 0;
+  double SolveSeconds = 0;
+  double ExtractSeconds = 0;
   /// True if the solver found a solution; false means the conservative
   /// completion was returned as a fallback (should not happen in
   /// practice — the conservative completion witnesses satisfiability).

@@ -1,0 +1,138 @@
+#include "driver/BatchRunner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+using namespace afl;
+using namespace afl::driver;
+
+namespace {
+
+void accumulateAnalysis(completion::AflStats &Agg,
+                        const completion::AflStats &S) {
+  Agg.ClosurePasses += S.ClosurePasses;
+  Agg.NumContexts += S.NumContexts;
+  Agg.NumClosures += S.NumClosures;
+  Agg.NumStateVars += S.NumStateVars;
+  Agg.NumBoolVars += S.NumBoolVars;
+  Agg.NumConstraints += S.NumConstraints;
+  Agg.NumPinnedCalls += S.NumPinnedCalls;
+  Agg.SolverPropagations += S.SolverPropagations;
+  Agg.SolverChoices += S.SolverChoices;
+  Agg.SolverBacktracks += S.SolverBacktracks;
+  Agg.ClosureSeconds += S.ClosureSeconds;
+  Agg.ConstraintGenSeconds += S.ConstraintGenSeconds;
+  Agg.SolveSeconds += S.SolveSeconds;
+  Agg.ExtractSeconds += S.ExtractSeconds;
+}
+
+void accumulateRun(interp::Stats &Agg, const interp::Stats &S) {
+  Agg.MaxRegions += S.MaxRegions;
+  Agg.TotalRegionAllocs += S.TotalRegionAllocs;
+  Agg.TotalValueAllocs += S.TotalValueAllocs;
+  Agg.MaxValues += S.MaxValues;
+  Agg.FinalValues += S.FinalValues;
+  Agg.Reads += S.Reads;
+  Agg.Writes += S.Writes;
+  Agg.Steps += S.Steps;
+  Agg.Time += S.Time;
+}
+
+} // namespace
+
+void BatchItemResult::recordMetrics(MetricsRegistry &Reg) const {
+  recordPipelineMetrics(Reg, Stats, Analysis,
+                        HasRuns ? &ConservativeStats : nullptr,
+                        HasRuns ? &AflStats : nullptr, Ok);
+}
+
+void BatchResult::recordMetrics(MetricsRegistry &Reg) const {
+  Reg.set("files", Items.size());
+  Reg.set("ok", NumOk);
+  Reg.set("failed", NumFailed);
+  Reg.set("threads", Threads);
+  Reg.addTime("wall_seconds", WallSeconds);
+  {
+    MetricScope Agg(Reg, "aggregate");
+    recordPipelineMetrics(Reg, AggregateStats, AggregateAnalysis,
+                          HasRuns ? &AggregateConservative : nullptr,
+                          HasRuns ? &AggregateAfl : nullptr, allOk());
+  }
+  {
+    MetricScope Programs(Reg, "programs");
+    for (const BatchItemResult &Item : Items) {
+      MetricScope S(Reg, Item.Name);
+      Item.recordMetrics(Reg);
+    }
+  }
+}
+
+BatchResult driver::runBatch(const std::vector<BatchItem> &Work,
+                             const PipelineOptions &Options,
+                             unsigned Threads) {
+  BatchResult Out;
+  Out.Items.resize(Work.size());
+
+  if (Threads == 0)
+    Threads = std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 1;
+  Threads = static_cast<unsigned>(
+      std::min<size_t>(Threads, std::max<size_t>(Work.size(), 1)));
+  Out.Threads = Threads;
+
+  Stopwatch Wall;
+  std::atomic<size_t> Next{0};
+
+  // Workers claim indices from a shared counter; each writes only its
+  // own slot of Out.Items, so no further synchronization is needed.
+  auto Worker = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Work.size())
+        return;
+      BatchItemResult &Item = Out.Items[I];
+      Item.Name = Work[I].Name;
+      PipelineResult R = runPipeline(Work[I].Source, Options);
+      Item.Ok = R.ok();
+      Item.Stats = R.Stats;
+      Item.Analysis = R.Analysis;
+      if (!R.ok())
+        Item.Error = R.Diags.str();
+      if (R.Conservative.Ok && R.Afl.Ok) {
+        Item.HasRuns = true;
+        Item.ConservativeStats = R.Conservative.S;
+        Item.AflStats = R.Afl.S;
+        Item.ResultText = R.Afl.ResultText;
+      }
+    }
+  };
+
+  if (Threads == 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  Out.WallSeconds = Wall.seconds();
+  for (const BatchItemResult &Item : Out.Items) {
+    if (Item.Ok)
+      ++Out.NumOk;
+    else
+      ++Out.NumFailed;
+    Out.AggregateStats.accumulate(Item.Stats);
+    accumulateAnalysis(Out.AggregateAnalysis, Item.Analysis);
+    if (Item.HasRuns) {
+      Out.HasRuns = true;
+      accumulateRun(Out.AggregateConservative, Item.ConservativeStats);
+      accumulateRun(Out.AggregateAfl, Item.AflStats);
+    }
+  }
+  return Out;
+}

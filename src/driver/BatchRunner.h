@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-pooled batch execution of the pipeline: run many independent
+/// programs concurrently (each on its own ASTContext — no shared mutable
+/// state between runs), keep a lightweight per-program summary, and
+/// aggregate the per-stage metrics. Backs `aflc --batch` and is the hot
+/// path a future service tier will sit on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_DRIVER_BATCHRUNNER_H
+#define AFL_DRIVER_BATCHRUNNER_H
+
+#include "driver/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace afl {
+namespace driver {
+
+/// One unit of batch work: a named source program.
+struct BatchItem {
+  std::string Name;
+  std::string Source;
+};
+
+/// Summary of one pipeline run inside a batch. Deliberately does not
+/// retain the PipelineResult itself (AST, region program, traces), so a
+/// large corpus stays memory-bounded.
+struct BatchItemResult {
+  std::string Name;
+  bool Ok = false;
+  /// Rendered diagnostics when !Ok.
+  std::string Error;
+  /// A-F-L run result value (empty when runs were skipped).
+  std::string ResultText;
+  PipelineStats Stats;
+  completion::AflStats Analysis;
+  bool HasRuns = false;
+  interp::Stats ConservativeStats;
+  interp::Stats AflStats;
+
+  /// Emits this item's metrics subtree (same schema as
+  /// PipelineResult::recordMetrics).
+  void recordMetrics(MetricsRegistry &Reg) const;
+};
+
+/// The whole batch: per-item summaries (in input order) plus aggregates.
+struct BatchResult {
+  std::vector<BatchItemResult> Items;
+  size_t NumOk = 0;
+  size_t NumFailed = 0;
+  /// Number of worker threads actually used.
+  unsigned Threads = 0;
+  /// End-to-end wall time of the batch (not the sum of per-item times).
+  double WallSeconds = 0;
+  /// Pointwise sums over all items.
+  PipelineStats AggregateStats;
+  completion::AflStats AggregateAnalysis;
+  interp::Stats AggregateConservative;
+  interp::Stats AggregateAfl;
+  bool HasRuns = false;
+
+  /// True when every item succeeded.
+  bool allOk() const { return NumFailed == 0; }
+
+  /// Emits "files"/"ok"/"failed"/"threads"/"wall_seconds", an
+  /// "aggregate" scope, and one scope per item under "programs".
+  void recordMetrics(MetricsRegistry &Reg) const;
+};
+
+/// Runs the pipeline over every item with \p Threads workers
+/// (0 = hardware concurrency). Results are deterministic and ordered:
+/// Items[i] always describes Work[i], whatever the schedule. Each run
+/// gets its own ASTContext/arena, so workers share nothing.
+BatchResult runBatch(const std::vector<BatchItem> &Work,
+                     const PipelineOptions &Options = PipelineOptions(),
+                     unsigned Threads = 0);
+
+} // namespace driver
+} // namespace afl
+
+#endif // AFL_DRIVER_BATCHRUNNER_H

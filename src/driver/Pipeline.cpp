@@ -5,6 +5,8 @@
 #include "regions/RegionInference.h"
 #include "regions/RegionPrinter.h"
 
+#include <cstdio>
+
 using namespace afl;
 using namespace afl::driver;
 
@@ -20,52 +22,207 @@ std::string PipelineResult::printAfl() const {
   return regions::printRegionProgram(*Prog, &AflC);
 }
 
+void PipelineStats::accumulate(const PipelineStats &Other) {
+  ParseSeconds += Other.ParseSeconds;
+  TypeInferSeconds += Other.TypeInferSeconds;
+  RegionInferSeconds += Other.RegionInferSeconds;
+  ConservativeSeconds += Other.ConservativeSeconds;
+  ClosureSeconds += Other.ClosureSeconds;
+  ConstraintGenSeconds += Other.ConstraintGenSeconds;
+  SolveSeconds += Other.SolveSeconds;
+  ExtractSeconds += Other.ExtractSeconds;
+  RunConservativeSeconds += Other.RunConservativeSeconds;
+  RunAflSeconds += Other.RunAflSeconds;
+  RunReferenceSeconds += Other.RunReferenceSeconds;
+  TotalSeconds += Other.TotalSeconds;
+  AstNodes += Other.AstNodes;
+  RegionNodes += Other.RegionNodes;
+  RegionVars += Other.RegionVars;
+}
+
+void driver::recordPipelineMetrics(MetricsRegistry &Reg,
+                                   const PipelineStats &Stats,
+                                   const completion::AflStats &Analysis,
+                                   const interp::Stats *ConsRun,
+                                   const interp::Stats *AflRun, bool Ok) {
+  Reg.set("ok", Ok ? 1 : 0);
+  {
+    MetricScope Sizes(Reg, "sizes");
+    Reg.set("ast_nodes", Stats.AstNodes);
+    Reg.set("region_nodes", Stats.RegionNodes);
+    Reg.set("region_vars", Stats.RegionVars);
+    Reg.set("closure_contexts", Analysis.NumContexts);
+    Reg.set("closures", Analysis.NumClosures);
+    Reg.set("state_vars", Analysis.NumStateVars);
+    Reg.set("bool_vars", Analysis.NumBoolVars);
+    Reg.set("constraints", Analysis.NumConstraints);
+  }
+  {
+    MetricScope Stages(Reg, "stages");
+    auto Stage = [&Reg](const char *Name, double Seconds) {
+      MetricScope S(Reg, Name);
+      Reg.addTime("wall_seconds", Seconds);
+    };
+    Stage("parse", Stats.ParseSeconds);
+    Stage("type_inference", Stats.TypeInferSeconds);
+    Stage("region_inference", Stats.RegionInferSeconds);
+    Stage("conservative_completion", Stats.ConservativeSeconds);
+    Stage("closure_analysis", Stats.ClosureSeconds);
+    Stage("constraint_gen", Stats.ConstraintGenSeconds);
+    {
+      MetricScope S(Reg, "solve");
+      Reg.addTime("wall_seconds", Stats.SolveSeconds);
+      Reg.add("propagations", Analysis.SolverPropagations);
+      Reg.add("choices", Analysis.SolverChoices);
+      Reg.add("backtracks", Analysis.SolverBacktracks);
+    }
+    Stage("extract", Stats.ExtractSeconds);
+    Stage("run_conservative", Stats.RunConservativeSeconds);
+    Stage("run_afl", Stats.RunAflSeconds);
+    Stage("run_reference", Stats.RunReferenceSeconds);
+  }
+  if (ConsRun || AflRun) {
+    MetricScope Runs(Reg, "runs");
+    auto Run = [&Reg](const char *Name, const interp::Stats *S) {
+      if (!S)
+        return;
+      MetricScope Scope(Reg, Name);
+      Reg.set("max_regions", S->MaxRegions);
+      Reg.set("region_allocs", S->TotalRegionAllocs);
+      Reg.set("value_allocs", S->TotalValueAllocs);
+      Reg.set("max_values", S->MaxValues);
+      Reg.set("final_values", S->FinalValues);
+      Reg.set("steps", S->Steps);
+      Reg.set("memory_ops", S->Time);
+    };
+    Run("conservative", ConsRun);
+    Run("afl", AflRun);
+  }
+  Reg.addTime("total_seconds", Stats.TotalSeconds);
+}
+
+void PipelineResult::recordMetrics(MetricsRegistry &Reg) const {
+  recordPipelineMetrics(Reg, Stats, Analysis,
+                        Conservative.Ok ? &Conservative.S : nullptr,
+                        Afl.Ok ? &Afl.S : nullptr, Ok);
+}
+
+std::string driver::formatTimings(const PipelineStats &Stats,
+                                  const completion::AflStats &Analysis) {
+  std::string Out;
+  char Buf[128];
+  double Total = Stats.TotalSeconds > 0 ? Stats.TotalSeconds : 1;
+  auto Row = [&](const char *Name, double Seconds) {
+    std::snprintf(Buf, sizeof(Buf), "%-24s %10.3f ms %6.1f%%\n", Name,
+                  Seconds * 1e3, Seconds / Total * 100);
+    Out += Buf;
+  };
+  std::snprintf(Buf, sizeof(Buf), "%-24s %13s %7s\n", "stage", "time", "");
+  Out += Buf;
+  Row("parse", Stats.ParseSeconds);
+  Row("type inference", Stats.TypeInferSeconds);
+  Row("region inference", Stats.RegionInferSeconds);
+  Row("conservative completion", Stats.ConservativeSeconds);
+  Row("closure analysis", Stats.ClosureSeconds);
+  Row("constraint generation", Stats.ConstraintGenSeconds);
+  Row("solve", Stats.SolveSeconds);
+  Row("extract", Stats.ExtractSeconds);
+  Row("run (conservative)", Stats.RunConservativeSeconds);
+  Row("run (A-F-L)", Stats.RunAflSeconds);
+  Row("run (reference)", Stats.RunReferenceSeconds);
+  Row("total", Stats.TotalSeconds);
+  std::snprintf(Buf, sizeof(Buf),
+                "solver: %llu propagations, %llu choices, %llu backtracks\n",
+                (unsigned long long)Analysis.SolverPropagations,
+                (unsigned long long)Analysis.SolverChoices,
+                (unsigned long long)Analysis.SolverBacktracks);
+  Out += Buf;
+  return Out;
+}
+
+std::string PipelineResult::formatTimings() const {
+  return driver::formatTimings(Stats, Analysis);
+}
+
 PipelineResult driver::runPipeline(std::string_view Source,
                                    const PipelineOptions &Options) {
   PipelineResult R;
   R.Ctx = std::make_unique<ast::ASTContext>();
+  Stopwatch Total;
+  Stopwatch Watch;
 
   R.Ast = parseExpr(Source, *R.Ctx, R.Diags);
-  if (!R.Ast)
+  R.Stats.ParseSeconds = Watch.seconds();
+  R.Stats.AstNodes = R.Ctx->numNodes();
+  if (!R.Ast) {
+    R.Stats.TotalSeconds = Total.seconds();
     return R;
+  }
 
+  Watch.reset();
   types::TypedProgram Typed = types::inferTypes(R.Ast, *R.Ctx, R.Diags);
-  if (!Typed.Success)
+  R.Stats.TypeInferSeconds = Watch.seconds();
+  if (!Typed.Success) {
+    R.Stats.TotalSeconds = Total.seconds();
     return R;
+  }
 
+  Watch.reset();
   R.Prog = regions::inferRegions(R.Ast, *R.Ctx, Typed, R.Diags);
-  if (!R.Prog)
+  R.Stats.RegionInferSeconds = Watch.seconds();
+  if (!R.Prog) {
+    R.Stats.TotalSeconds = Total.seconds();
     return R;
+  }
+  R.Stats.RegionNodes = R.Prog->numNodes();
+  R.Stats.RegionVars = R.Prog->Types.numRegionVars();
 
+  Watch.reset();
   R.ConservativeC = completion::conservativeCompletion(*R.Prog);
+  R.Stats.ConservativeSeconds = Watch.seconds();
+
   R.AflC = completion::aflCompletion(*R.Prog, &R.Analysis,
                                      Options.GenOptions);
+  R.Stats.ClosureSeconds = R.Analysis.ClosureSeconds;
+  R.Stats.ConstraintGenSeconds = R.Analysis.ConstraintGenSeconds;
+  R.Stats.SolveSeconds = R.Analysis.SolveSeconds;
+  R.Stats.ExtractSeconds = R.Analysis.ExtractSeconds;
 
   if (!Options.SkipRuns) {
     interp::RunOptions RO;
     RO.RecordTrace = Options.RecordTrace;
     RO.MaxSteps = Options.MaxSteps;
+    Watch.reset();
     R.Conservative = interp::run(*R.Prog, R.ConservativeC, RO);
+    R.Stats.RunConservativeSeconds = Watch.seconds();
     if (!R.Conservative.Ok) {
       R.Diags.error(SourceLoc(),
                     "conservative run failed: " + R.Conservative.Error);
+      R.Stats.TotalSeconds = Total.seconds();
       return R;
     }
+    Watch.reset();
     R.Afl = interp::run(*R.Prog, R.AflC, RO);
+    R.Stats.RunAflSeconds = Watch.seconds();
     if (!R.Afl.Ok) {
       R.Diags.error(SourceLoc(), "A-F-L run failed: " + R.Afl.Error);
+      R.Stats.TotalSeconds = Total.seconds();
       return R;
     }
     if (!Options.SkipReference) {
+      Watch.reset();
       R.Reference = interp::runRef(R.Ast, *R.Ctx, Options.MaxSteps);
+      R.Stats.RunReferenceSeconds = Watch.seconds();
       if (!R.Reference.Ok) {
         R.Diags.error(SourceLoc(),
                       "reference run failed: " + R.Reference.Error);
+        R.Stats.TotalSeconds = Total.seconds();
         return R;
       }
     }
   }
 
   R.Ok = true;
+  R.Stats.TotalSeconds = Total.seconds();
   return R;
 }

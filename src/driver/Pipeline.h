@@ -17,6 +17,7 @@
 #include "regions/Completion.h"
 #include "regions/RegionProgram.h"
 #include "support/Diagnostics.h"
+#include "support/Metrics.h"
 #include "types/TypeInference.h"
 
 #include <memory>
@@ -39,6 +40,44 @@ struct PipelineOptions {
   constraints::GenOptions GenOptions;
 };
 
+/// Per-stage observability for one pipeline run: wall-clock time of every
+/// stage that executed, plus the sizes of the intermediate artifacts.
+/// Filled unconditionally by runPipeline (stages that did not run stay
+/// at zero). Solver work counters live in PipelineResult::Analysis; the
+/// registry emission (recordMetrics) combines both.
+struct PipelineStats {
+  /// Wall-clock seconds per stage, in pipeline order.
+  double ParseSeconds = 0;
+  double TypeInferSeconds = 0;
+  double RegionInferSeconds = 0;
+  double ConservativeSeconds = 0; ///< conservative (T-T) completion
+  double ClosureSeconds = 0;      ///< extended closure analysis (§3)
+  double ConstraintGenSeconds = 0;
+  double SolveSeconds = 0;
+  double ExtractSeconds = 0; ///< completion extraction from the solution
+  double RunConservativeSeconds = 0;
+  double RunAflSeconds = 0;
+  double RunReferenceSeconds = 0;
+  /// Whole-pipeline wall time (≥ the sum of the stage times).
+  double TotalSeconds = 0;
+
+  /// Artifact sizes.
+  size_t AstNodes = 0;
+  size_t RegionNodes = 0;
+  size_t RegionVars = 0;
+
+  /// Sum of the individual stage times (excludes TotalSeconds).
+  double stageSum() const {
+    return ParseSeconds + TypeInferSeconds + RegionInferSeconds +
+           ConservativeSeconds + ClosureSeconds + ConstraintGenSeconds +
+           SolveSeconds + ExtractSeconds + RunConservativeSeconds +
+           RunAflSeconds + RunReferenceSeconds;
+  }
+
+  /// Pointwise sum (for batch aggregation).
+  void accumulate(const PipelineStats &Other);
+};
+
 /// Everything the pipeline produced. Check ok() before using the later
 /// stages; Diags explains failures.
 struct PipelineResult {
@@ -52,6 +91,7 @@ struct PipelineResult {
   interp::RunResult Conservative; ///< the T-T baseline run
   interp::RunResult Afl;          ///< the A-F-L run
   interp::RefResult Reference;    ///< oracle value
+  PipelineStats Stats;            ///< per-stage timings and sizes
 
   /// True if all requested stages succeeded.
   bool ok() const { return Ok; }
@@ -61,11 +101,34 @@ struct PipelineResult {
   std::string printConservative() const;
   /// Pretty-prints the region program with the A-F-L completion.
   std::string printAfl() const;
+
+  /// Emits the stage timings, artifact sizes, solver counters and run
+  /// metrics into \p Reg under the current scope (schema in
+  /// docs/OBSERVABILITY.md).
+  void recordMetrics(MetricsRegistry &Reg) const;
+
+  /// Renders the stage timings as a human-readable table (aflc
+  /// --timings).
+  std::string formatTimings() const;
 };
 
 /// Runs the full pipeline on \p Source.
 PipelineResult runPipeline(std::string_view Source,
                            const PipelineOptions &Options = PipelineOptions());
+
+/// Shared emission routine behind PipelineResult::recordMetrics and the
+/// batch aggregates: writes the "ok"/"sizes"/"stages"/"runs" subtree into
+/// \p Reg under the current scope. \p ConsRun / \p AflRun may be null
+/// when the instrumented runs were skipped (or failed).
+void recordPipelineMetrics(MetricsRegistry &Reg, const PipelineStats &Stats,
+                           const completion::AflStats &Analysis,
+                           const interp::Stats *ConsRun,
+                           const interp::Stats *AflRun, bool Ok);
+
+/// Renders a stage-timing table (shared by aflc --timings for single and
+/// batch runs).
+std::string formatTimings(const PipelineStats &Stats,
+                          const completion::AflStats &Analysis);
 
 } // namespace driver
 } // namespace afl

@@ -1,5 +1,7 @@
 #include "solver/Solver.h"
 
+#include "support/Metrics.h"
+
 #include <cassert>
 #include <cstddef>
 #include <deque>
@@ -271,6 +273,9 @@ SolveResult SolverImpl::run() {
 } // namespace
 
 SolveResult solver::solve(const ConstraintSystem &Sys) {
+  Stopwatch Watch;
   SolverImpl S(Sys);
-  return S.run();
+  SolveResult R = S.run();
+  R.Seconds = Watch.seconds();
+  return R;
 }

@@ -36,6 +36,8 @@ struct SolveResult {
   uint64_t Propagations = 0;
   uint64_t Choices = 0;
   uint64_t Backtracks = 0;
+  /// Wall-clock time spent inside solve(), in seconds.
+  double Seconds = 0;
 
   bool boolValue(constraints::BoolVarId B) const {
     return BoolDom[B] == constraints::BTrue;

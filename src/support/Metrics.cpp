@@ -1,0 +1,222 @@
+#include "support/Metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace afl;
+
+//===----------------------------------------------------------------------===//
+// Node
+//===----------------------------------------------------------------------===//
+
+struct MetricsRegistry::Node {
+  enum class Kind { Scope, Counter, Timer };
+
+  std::string Name;
+  Kind NodeKind = Kind::Scope;
+  uint64_t Count = 0;
+  double Seconds = 0;
+  /// Children in insertion order (scopes and leaves interleaved).
+  std::vector<std::unique_ptr<Node>> Children;
+
+  Node *child(std::string_view ChildName, Kind K) {
+    for (auto &C : Children)
+      if (C->Name == ChildName)
+        return C.get();
+    auto N = std::make_unique<Node>();
+    N->Name = std::string(ChildName);
+    N->NodeKind = K;
+    Children.push_back(std::move(N));
+    return Children.back().get();
+  }
+
+  const Node *findChild(std::string_view ChildName) const {
+    for (const auto &C : Children)
+      if (C->Name == ChildName)
+        return C.get();
+    return nullptr;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry::MetricsRegistry() : Root(std::make_unique<Node>()) {
+  Stack.push_back(Root.get());
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+MetricsRegistry::MetricsRegistry(MetricsRegistry &&) noexcept = default;
+MetricsRegistry &
+MetricsRegistry::operator=(MetricsRegistry &&) noexcept = default;
+
+void MetricsRegistry::push(std::string_view Name) {
+  Stack.push_back(Stack.back()->child(Name, Node::Kind::Scope));
+}
+
+void MetricsRegistry::pop() {
+  if (Stack.size() > 1)
+    Stack.pop_back();
+}
+
+void MetricsRegistry::add(std::string_view Name, uint64_t Delta) {
+  Stack.back()->child(Name, Node::Kind::Counter)->Count += Delta;
+}
+
+void MetricsRegistry::set(std::string_view Name, uint64_t Value) {
+  Stack.back()->child(Name, Node::Kind::Counter)->Count = Value;
+}
+
+void MetricsRegistry::addTime(std::string_view Name, double Seconds) {
+  Stack.back()->child(Name, Node::Kind::Timer)->Seconds += Seconds;
+}
+
+const MetricsRegistry::Node *
+MetricsRegistry::find(std::string_view Path) const {
+  const Node *N = Root.get();
+  while (N && !Path.empty()) {
+    size_t Slash = Path.find('/');
+    std::string_view Head =
+        Slash == std::string_view::npos ? Path : Path.substr(0, Slash);
+    Path = Slash == std::string_view::npos ? std::string_view()
+                                           : Path.substr(Slash + 1);
+    N = N->findChild(Head);
+  }
+  return N;
+}
+
+uint64_t MetricsRegistry::counter(std::string_view Path) const {
+  const Node *N = find(Path);
+  return N && N->NodeKind == Node::Kind::Counter ? N->Count : 0;
+}
+
+double MetricsRegistry::timer(std::string_view Path) const {
+  const Node *N = find(Path);
+  return N && N->NodeKind == Node::Kind::Timer ? N->Seconds : 0.0;
+}
+
+bool MetricsRegistry::has(std::string_view Path) const {
+  return find(Path) != nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  // Recursive pointwise sum; scopes are created on demand.
+  struct Merger {
+    static void run(Node *Dst, const Node *Src) {
+      for (const auto &C : Src->Children) {
+        Node *D = Dst->child(C->Name, C->NodeKind);
+        D->Count += C->Count;
+        D->Seconds += C->Seconds;
+        run(D, C.get());
+      }
+    }
+  };
+  Merger::run(Root.get(), Other.Root.get());
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+std::string MetricsRegistry::escapeJson(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Prints a double so that it always round-trips as a JSON number with a
+/// fractional part ("0.0", never "0" — keeps counters and timers
+/// distinguishable in the output).
+std::string formatSeconds(double Seconds) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9f", Seconds);
+  return Buf;
+}
+
+} // namespace
+
+std::string MetricsRegistry::json(bool Pretty) const {
+  std::string Out;
+  struct Renderer {
+    bool Pretty;
+    std::string &Out;
+
+    void indent(unsigned Depth) {
+      if (Pretty)
+        Out.append(static_cast<size_t>(Depth) * 2, ' ');
+    }
+
+    void scope(const Node &N, unsigned Depth) {
+      Out += '{';
+      bool First = true;
+      for (const auto &C : N.Children) {
+        if (!First)
+          Out += ',';
+        First = false;
+        if (Pretty)
+          Out += '\n';
+        indent(Depth + 1);
+        Out += '"';
+        Out += MetricsRegistry::escapeJson(C->Name);
+        Out += Pretty ? "\": " : "\":";
+        switch (C->NodeKind) {
+        case Node::Kind::Scope:
+          scope(*C, Depth + 1);
+          break;
+        case Node::Kind::Counter:
+          Out += std::to_string(C->Count);
+          break;
+        case Node::Kind::Timer:
+          Out += formatSeconds(C->Seconds);
+          break;
+        }
+      }
+      if (!First && Pretty) {
+        Out += '\n';
+        indent(Depth);
+      }
+      Out += '}';
+    }
+  };
+  Renderer R{Pretty, Out};
+  R.scope(*Root, 0);
+  if (Pretty)
+    Out += '\n';
+  return Out;
+}

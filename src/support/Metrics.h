@@ -1,0 +1,158 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight observability primitives shared by the pipeline, the
+/// command-line tools and the benchmarks: a monotonic Stopwatch, a
+/// MetricsRegistry of named counters and timers organized in nested
+/// scopes, and a stable JSON serializer. No third-party dependencies;
+/// see docs/OBSERVABILITY.md for the data model and the emitted schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SUPPORT_METRICS_H
+#define AFL_SUPPORT_METRICS_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afl {
+
+/// Monotonic wall-clock stopwatch (steady_clock; never goes backwards
+/// even if the system clock is adjusted). Starts on construction.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time since construction/reset, in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in integral nanoseconds.
+  uint64_t nanoseconds() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A tree of named metrics. Leaves are either integral *counters* or
+/// floating-point *timers* (seconds; by convention their names end in
+/// "_seconds"). Interior nodes are *scopes*. Insertion order is
+/// preserved everywhere, so the JSON rendering is stable across runs.
+///
+/// Not thread-safe: concurrent producers each fill their own registry
+/// and the results are combined with merge() (see driver/BatchRunner).
+class MetricsRegistry {
+public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(MetricsRegistry &&) noexcept;
+  MetricsRegistry &operator=(MetricsRegistry &&) noexcept;
+
+  //===------------------------------------------------------------------===//
+  // Scopes
+  //===------------------------------------------------------------------===//
+
+  /// Enters (creating on first use) the child scope \p Name of the
+  /// current scope. Subsequent add/set/addTime calls land inside it.
+  void push(std::string_view Name);
+  /// Leaves the current scope; no-op at the root.
+  void pop();
+
+  //===------------------------------------------------------------------===//
+  // Producers (addressed relative to the current scope)
+  //===------------------------------------------------------------------===//
+
+  /// Adds \p Delta to counter \p Name (created at zero on first use).
+  void add(std::string_view Name, uint64_t Delta);
+  /// Sets counter \p Name to \p Value.
+  void set(std::string_view Name, uint64_t Value);
+  /// Adds \p Seconds to timer \p Name (created at zero on first use).
+  void addTime(std::string_view Name, double Seconds);
+
+  //===------------------------------------------------------------------===//
+  // Consumers (addressed by '/'-separated path from the root)
+  //===------------------------------------------------------------------===//
+
+  /// Value of the counter at \p Path ("pipeline/solve/propagations"),
+  /// or 0 if absent.
+  uint64_t counter(std::string_view Path) const;
+  /// Value of the timer at \p Path, or 0.0 if absent.
+  double timer(std::string_view Path) const;
+  /// True if any metric or scope exists at \p Path.
+  bool has(std::string_view Path) const;
+
+  /// Adds every counter and timer of \p Other into this registry,
+  /// creating scopes as needed (pointwise sum; used for batch
+  /// aggregation).
+  void merge(const MetricsRegistry &Other);
+
+  //===------------------------------------------------------------------===//
+  // Serialization
+  //===------------------------------------------------------------------===//
+
+  /// Renders the whole tree as a JSON object: scopes become objects,
+  /// counters integers, timers doubles. Key order is insertion order.
+  /// \p Pretty selects 2-space-indented multi-line output.
+  std::string json(bool Pretty = true) const;
+
+  /// Escapes \p S for inclusion in a JSON string literal (quotes,
+  /// backslashes, control characters).
+  static std::string escapeJson(std::string_view S);
+
+private:
+  struct Node;
+  Node *resolveScope(std::string_view Name);
+  const Node *find(std::string_view Path) const;
+
+  std::unique_ptr<Node> Root;
+  std::vector<Node *> Stack; ///< current scope chain; back() is active
+};
+
+/// RAII helper: enters a registry scope on construction, leaves on
+/// destruction.
+class MetricScope {
+public:
+  MetricScope(MetricsRegistry &Reg, std::string_view Name) : Reg(Reg) {
+    Reg.push(Name);
+  }
+  ~MetricScope() { Reg.pop(); }
+  MetricScope(const MetricScope &) = delete;
+  MetricScope &operator=(const MetricScope &) = delete;
+
+private:
+  MetricsRegistry &Reg;
+};
+
+/// RAII helper: adds the elapsed wall time to timer \p Name (in the
+/// registry's *current* scope at destruction time) when it goes out of
+/// scope.
+class ScopedTimer {
+public:
+  ScopedTimer(MetricsRegistry &Reg, std::string Name)
+      : Reg(Reg), Name(std::move(Name)) {}
+  ~ScopedTimer() { Reg.addTime(Name, Watch.seconds()); }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  MetricsRegistry &Reg;
+  std::string Name;
+  Stopwatch Watch;
+};
+
+} // namespace afl
+
+#endif // AFL_SUPPORT_METRICS_H

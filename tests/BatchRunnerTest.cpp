@@ -1,0 +1,128 @@
+// Tests for the thread-pooled batch runner: parallel runs must be
+// deterministic and equal to sequential runs, failures must stay
+// isolated to their own item, and the aggregates must add up.
+
+#include "driver/BatchRunner.h"
+#include "programs/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+
+namespace {
+
+std::vector<driver::BatchItem> corpusWork() {
+  std::vector<driver::BatchItem> Work;
+  for (const programs::BenchProgram &P : programs::smallCorpus())
+    Work.push_back({P.Name, P.Source});
+  return Work;
+}
+
+TEST(BatchRunner, ParallelMatchesSequential) {
+  std::vector<driver::BatchItem> Work = corpusWork();
+  driver::BatchResult Seq =
+      driver::runBatch(Work, driver::PipelineOptions(), 1);
+  driver::BatchResult Par =
+      driver::runBatch(Work, driver::PipelineOptions(), 4);
+
+  ASSERT_EQ(Seq.Items.size(), Work.size());
+  ASSERT_EQ(Par.Items.size(), Work.size());
+  EXPECT_EQ(Seq.NumOk, Work.size());
+  EXPECT_EQ(Par.NumOk, Work.size());
+
+  for (size_t I = 0; I != Work.size(); ++I) {
+    const driver::BatchItemResult &S = Seq.Items[I];
+    const driver::BatchItemResult &P = Par.Items[I];
+    // Results stay in input order whatever the schedule.
+    EXPECT_EQ(S.Name, Work[I].Name);
+    EXPECT_EQ(P.Name, Work[I].Name);
+    // Identical per-file outcomes: value, memory metrics, solver work.
+    EXPECT_EQ(S.ResultText, P.ResultText) << S.Name;
+    EXPECT_EQ(S.AflStats.MaxValues, P.AflStats.MaxValues) << S.Name;
+    EXPECT_EQ(S.AflStats.TotalRegionAllocs, P.AflStats.TotalRegionAllocs)
+        << S.Name;
+    EXPECT_EQ(S.ConservativeStats.MaxValues, P.ConservativeStats.MaxValues)
+        << S.Name;
+    EXPECT_EQ(S.Analysis.SolverPropagations, P.Analysis.SolverPropagations)
+        << S.Name;
+    EXPECT_EQ(S.Analysis.NumConstraints, P.Analysis.NumConstraints)
+        << S.Name;
+  }
+}
+
+TEST(BatchRunner, FailuresAreIsolated) {
+  std::vector<driver::BatchItem> Work = {
+      {"good1", "1 + 2"},
+      {"bad-parse", "let x = in x end"},
+      {"bad-type", "1 + true"},
+      {"good2", "letrec f n = if n = 0 then 0 else f (n - 1) in f 3 end"},
+  };
+  driver::BatchResult B = driver::runBatch(Work, driver::PipelineOptions(), 2);
+  ASSERT_EQ(B.Items.size(), 4u);
+  EXPECT_EQ(B.NumOk, 2u);
+  EXPECT_EQ(B.NumFailed, 2u);
+  EXPECT_FALSE(B.allOk());
+  EXPECT_TRUE(B.Items[0].Ok);
+  EXPECT_FALSE(B.Items[1].Ok);
+  EXPECT_FALSE(B.Items[1].Error.empty());
+  EXPECT_FALSE(B.Items[2].Ok);
+  EXPECT_TRUE(B.Items[3].Ok);
+  EXPECT_EQ(B.Items[0].ResultText, "3");
+  EXPECT_EQ(B.Items[3].ResultText, "0");
+}
+
+TEST(BatchRunner, AggregatesSumPerItemStats) {
+  std::vector<driver::BatchItem> Work = corpusWork();
+  driver::BatchResult B = driver::runBatch(Work, driver::PipelineOptions(), 3);
+
+  uint64_t Props = 0, ValueAllocs = 0;
+  double Cpu = 0;
+  for (const driver::BatchItemResult &Item : B.Items) {
+    Props += Item.Analysis.SolverPropagations;
+    ValueAllocs += Item.AflStats.TotalValueAllocs;
+    Cpu += Item.Stats.TotalSeconds;
+  }
+  EXPECT_EQ(B.AggregateAnalysis.SolverPropagations, Props);
+  EXPECT_EQ(B.AggregateAfl.TotalValueAllocs, ValueAllocs);
+  EXPECT_DOUBLE_EQ(B.AggregateStats.TotalSeconds, Cpu);
+  EXPECT_TRUE(B.HasRuns);
+  EXPECT_GT(B.WallSeconds, 0.0);
+  EXPECT_GE(B.Threads, 1u);
+}
+
+TEST(BatchRunner, MetricsEmissionIsValidAndComplete) {
+  std::vector<driver::BatchItem> Work = {
+      {"a.afl", "1 + 2"},
+      {"b.afl", "(let z = (2, 3) in fn y => (fst z, y) end) 5"},
+  };
+  driver::BatchResult B = driver::runBatch(Work, driver::PipelineOptions(), 2);
+  MetricsRegistry Reg;
+  B.recordMetrics(Reg);
+  EXPECT_EQ(Reg.counter("files"), 2u);
+  EXPECT_EQ(Reg.counter("ok"), 2u);
+  EXPECT_TRUE(Reg.has("aggregate/stages/solve"));
+  EXPECT_TRUE(Reg.has("programs/a.afl/stages/parse"));
+  EXPECT_TRUE(Reg.has("programs/b.afl/runs/afl"));
+  EXPECT_EQ(Reg.counter("programs/b.afl/ok"), 1u);
+  EXPECT_GT(Reg.timer("aggregate/total_seconds"), 0.0);
+}
+
+TEST(BatchRunner, EmptyBatch) {
+  driver::BatchResult B =
+      driver::runBatch({}, driver::PipelineOptions(), 4);
+  EXPECT_TRUE(B.Items.empty());
+  EXPECT_EQ(B.NumOk, 0u);
+  EXPECT_TRUE(B.allOk());
+}
+
+TEST(BatchRunner, RespectsSkipRuns) {
+  driver::PipelineOptions Options;
+  Options.SkipRuns = true;
+  driver::BatchResult B = driver::runBatch(corpusWork(), Options, 2);
+  EXPECT_EQ(B.NumOk, B.Items.size());
+  EXPECT_FALSE(B.HasRuns);
+  for (const driver::BatchItemResult &Item : B.Items)
+    EXPECT_TRUE(Item.ResultText.empty());
+}
+
+} // namespace

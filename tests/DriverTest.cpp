@@ -97,6 +97,79 @@ INSTANTIATE_TEST_SUITE_P(
       return Name;
     });
 
+TEST(Driver, StatsPopulatedOnFullRun) {
+  driver::PipelineResult R =
+      driver::runPipeline(programs::example11Source());
+  ASSERT_TRUE(R.ok()) << R.Diags.str();
+  const driver::PipelineStats &S = R.Stats;
+  // Every stage that executed reports a strictly positive wall time.
+  EXPECT_GT(S.ParseSeconds, 0.0);
+  EXPECT_GT(S.TypeInferSeconds, 0.0);
+  EXPECT_GT(S.RegionInferSeconds, 0.0);
+  EXPECT_GT(S.ConservativeSeconds, 0.0);
+  EXPECT_GT(S.ClosureSeconds, 0.0);
+  EXPECT_GT(S.ConstraintGenSeconds, 0.0);
+  EXPECT_GT(S.SolveSeconds, 0.0);
+  EXPECT_GT(S.RunConservativeSeconds, 0.0);
+  EXPECT_GT(S.RunAflSeconds, 0.0);
+  EXPECT_GT(S.RunReferenceSeconds, 0.0);
+  EXPECT_GT(S.TotalSeconds, 0.0);
+  // Stages partition the pipeline: their sum cannot exceed the total.
+  EXPECT_LE(S.stageSum(), S.TotalSeconds);
+  // Artifact sizes come from the run itself.
+  EXPECT_EQ(S.AstNodes, R.Ctx->numNodes());
+  EXPECT_EQ(S.RegionNodes, R.Prog->numNodes());
+  EXPECT_GT(S.RegionVars, 0u);
+  // The solve stage time matches what the analysis reported.
+  EXPECT_DOUBLE_EQ(S.SolveSeconds, R.Analysis.SolveSeconds);
+}
+
+TEST(Driver, StatsOnSkippedRunsLeaveRunTimesZero) {
+  driver::PipelineOptions Options;
+  Options.SkipRuns = true;
+  driver::PipelineResult R =
+      driver::runPipeline(programs::fibSource(5), Options);
+  ASSERT_TRUE(R.ok()) << R.Diags.str();
+  EXPECT_GT(R.Stats.SolveSeconds, 0.0);
+  EXPECT_EQ(R.Stats.RunConservativeSeconds, 0.0);
+  EXPECT_EQ(R.Stats.RunAflSeconds, 0.0);
+  EXPECT_EQ(R.Stats.RunReferenceSeconds, 0.0);
+  EXPECT_LE(R.Stats.stageSum(), R.Stats.TotalSeconds);
+}
+
+TEST(Driver, StatsOnFailureStillTimed) {
+  driver::PipelineResult R = driver::runPipeline("let x = in x end");
+  EXPECT_FALSE(R.ok());
+  EXPECT_GT(R.Stats.ParseSeconds, 0.0);
+  EXPECT_GT(R.Stats.TotalSeconds, 0.0);
+  EXPECT_EQ(R.Stats.SolveSeconds, 0.0);
+}
+
+TEST(Driver, RecordMetricsEmitsSchema) {
+  driver::PipelineResult R =
+      driver::runPipeline(programs::example11Source());
+  ASSERT_TRUE(R.ok()) << R.Diags.str();
+  MetricsRegistry Reg;
+  R.recordMetrics(Reg);
+  EXPECT_EQ(Reg.counter("ok"), 1u);
+  EXPECT_GT(Reg.counter("sizes/ast_nodes"), 0u);
+  EXPECT_GT(Reg.counter("sizes/constraints"), 0u);
+  EXPECT_GT(Reg.timer("stages/parse/wall_seconds"), 0.0);
+  EXPECT_GT(Reg.timer("stages/region_inference/wall_seconds"), 0.0);
+  EXPECT_GT(Reg.timer("stages/constraint_gen/wall_seconds"), 0.0);
+  EXPECT_GT(Reg.timer("stages/solve/wall_seconds"), 0.0);
+  EXPECT_GT(Reg.timer("stages/run_afl/wall_seconds"), 0.0);
+  EXPECT_EQ(Reg.counter("stages/solve/propagations"),
+            R.Analysis.SolverPropagations);
+  EXPECT_EQ(Reg.counter("runs/afl/max_values"), R.Afl.S.MaxValues);
+  EXPECT_GT(Reg.timer("total_seconds"), 0.0);
+  // The timings table renders every stage.
+  std::string Table = R.formatTimings();
+  EXPECT_NE(Table.find("region inference"), std::string::npos);
+  EXPECT_NE(Table.find("solve"), std::string::npos);
+  EXPECT_NE(Table.find("propagations"), std::string::npos);
+}
+
 TEST(Driver, AblationsNeverWorseThanLexical) {
   // Each single ablation still improves on (or matches) T-T and is never
   // better than the full system.

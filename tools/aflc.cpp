@@ -18,20 +18,27 @@
 ///   --lexical-alloc      ablation: allocation only at letregion entry
 ///   --lexical-free       ablation: deallocation only at letregion exit
 ///   --no-run             analysis only (skip the instrumented runs)
+///   --timings            print the per-stage wall-time table
+///   --metrics[=FILE]     emit per-stage metrics as JSON (stdout or FILE)
+///   --batch DIR          run every .afl file under DIR (thread-pooled)
+///   -j N                 worker threads for --batch (default: all cores)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "closure/ClosureAnalysis.h"
 #include "completion/Report.h"
 #include "constraints/ConstraintPrinter.h"
+#include "driver/BatchRunner.h"
 #include "driver/Pipeline.h"
 #include "programs/Corpus.h"
 #include "regions/RegionPrinter.h"
 #include "regions/Validator.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -51,7 +58,10 @@ void usage() {
       "  --validate          run structural validators\n"
       "  --no-freeapp --lexical-alloc --lexical-free   ablations\n"
       "  --dump-constraints  print the generated constraint system\n"
-      "  --no-run            skip instrumented runs\n");
+      "  --no-run            skip instrumented runs\n"
+      "  --timings           per-stage wall-time table\n"
+      "  --metrics[=FILE]    per-stage metrics as JSON\n"
+      "  --batch DIR [-j N]  run every .afl file under DIR concurrently\n");
 }
 
 std::string builtinSource(const std::string &Name, int N) {
@@ -73,13 +83,117 @@ std::string builtinSource(const std::string &Name, int N) {
   std::exit(1);
 }
 
+/// Writes \p Json to \p File ("" or "-" = stdout). Returns false on I/O
+/// failure.
+bool emitJson(const std::string &File, const std::string &Json) {
+  if (File.empty() || File == "-") {
+    std::fputs(Json.c_str(), stdout);
+    return true;
+  }
+  std::ofstream Out(File);
+  if (!Out) {
+    std::fprintf(stderr, "aflc: cannot write '%s'\n", File.c_str());
+    return false;
+  }
+  Out << Json;
+  std::fprintf(stderr, "aflc: wrote metrics to %s\n", File.c_str());
+  return true;
+}
+
+/// Runs every .afl file under \p Dir through the thread-pooled batch
+/// runner and prints a per-file summary plus the aggregate breakdown.
+int runBatchMode(const std::string &Dir, const driver::PipelineOptions &Options,
+                 unsigned Threads, bool Timings, bool Metrics,
+                 const std::string &MetricsFile) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  std::vector<driver::BatchItem> Work;
+  for (const fs::directory_entry &Entry :
+       fs::recursive_directory_iterator(Dir, EC)) {
+    if (!Entry.is_regular_file() || Entry.path().extension() != ".afl")
+      continue;
+    std::ifstream In(Entry.path());
+    if (!In) {
+      std::fprintf(stderr, "aflc: cannot open '%s'\n",
+                   Entry.path().c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Work.push_back({fs::relative(Entry.path(), Dir).string(), SS.str()});
+  }
+  if (EC) {
+    std::fprintf(stderr, "aflc: cannot read directory '%s': %s\n",
+                 Dir.c_str(), EC.message().c_str());
+    return 1;
+  }
+  if (Work.empty()) {
+    std::fprintf(stderr, "aflc: no .afl files under '%s'\n", Dir.c_str());
+    return 1;
+  }
+  // Directory iteration order is unspecified; sort for stable output.
+  std::sort(Work.begin(), Work.end(),
+            [](const driver::BatchItem &A, const driver::BatchItem &B) {
+              return A.Name < B.Name;
+            });
+
+  driver::BatchResult Batch = driver::runBatch(Work, Options, Threads);
+
+  std::printf("%-32s %6s %12s %10s  %s\n", "program", "status", "max values",
+              "time", "result");
+  for (const driver::BatchItemResult &Item : Batch.Items) {
+    if (Item.Ok)
+      std::printf("%-32s %6s %12llu %8.1fms  %s\n", Item.Name.c_str(), "ok",
+                  (unsigned long long)Item.AflStats.MaxValues,
+                  Item.Stats.TotalSeconds * 1e3, Item.ResultText.c_str());
+    else {
+      // Diagnostics arrive newline-terminated; trim so the row stays one line.
+      std::string Err = Item.Error;
+      while (!Err.empty() && (Err.back() == '\n' || Err.back() == '\r'))
+        Err.pop_back();
+      std::printf("%-32s %6s %12s %8.1fms  %s\n", Item.Name.c_str(), "FAIL",
+                  "-", Item.Stats.TotalSeconds * 1e3, Err.c_str());
+    }
+  }
+  std::printf("batch: %zu/%zu ok on %u thread(s), wall %.1fms "
+              "(cpu %.1fms, speedup %.2fx)\n",
+              Batch.NumOk, Batch.Items.size(), Batch.Threads,
+              Batch.WallSeconds * 1e3,
+              Batch.AggregateStats.TotalSeconds * 1e3,
+              Batch.WallSeconds > 0
+                  ? Batch.AggregateStats.TotalSeconds / Batch.WallSeconds
+                  : 0.0);
+
+  if (Timings) {
+    std::printf("\naggregate stage breakdown (cpu time over %zu file(s)):\n",
+                Batch.Items.size());
+    std::fputs(driver::formatTimings(Batch.AggregateStats,
+                                     Batch.AggregateAnalysis)
+                   .c_str(),
+               stdout);
+  }
+
+  if (Metrics) {
+    MetricsRegistry Reg;
+    Reg.set("aflc_metrics_version", 1);
+    {
+      MetricScope S(Reg, "batch");
+      Batch.recordMetrics(Reg);
+    }
+    if (!emitJson(MetricsFile, Reg.json()))
+      return 1;
+  }
+  return Batch.allOk() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string Emit = "afl";
   bool Report = false, Stats = false, Validate = false, NoRun = false;
-  bool DumpConstraints = false;
-  std::string TraceFile;
+  bool DumpConstraints = false, Timings = false, Metrics = false;
+  std::string TraceFile, MetricsFile, BatchDir;
+  unsigned Threads = 0;
   std::string Source;
   constraints::GenOptions Gen;
 
@@ -103,6 +217,28 @@ int main(int Argc, char **Argv) {
       DumpConstraints = true;
     } else if (Arg.rfind("--trace=", 0) == 0) {
       TraceFile = Arg.substr(8);
+    } else if (Arg == "--timings") {
+      Timings = true;
+    } else if (Arg == "--metrics") {
+      Metrics = true;
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      Metrics = true;
+      MetricsFile = Arg.substr(10);
+    } else if (Arg == "--batch") {
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      BatchDir = Argv[I];
+    } else if (Arg == "-j") {
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      Threads = static_cast<unsigned>(std::atoi(Argv[I]));
+    } else if (Arg.rfind("-j", 0) == 0 && Arg.size() > 2 &&
+               isdigit(static_cast<unsigned char>(Arg[2]))) {
+      Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 2));
     } else if (Arg == "--no-freeapp") {
       Gen.FreeApp = false;
     } else if (Arg == "--lexical-alloc") {
@@ -134,15 +270,20 @@ int main(int Argc, char **Argv) {
       Source = Arg;
     }
   }
+  driver::PipelineOptions Options;
+  Options.SkipRuns = NoRun;
+  Options.RecordTrace = !TraceFile.empty();
+  Options.GenOptions = Gen;
+
+  if (!BatchDir.empty())
+    return runBatchMode(BatchDir, Options, Threads, Timings, Metrics,
+                        MetricsFile);
+
   if (Source.empty()) {
     usage();
     return 2;
   }
 
-  driver::PipelineOptions Options;
-  Options.SkipRuns = NoRun;
-  Options.RecordTrace = !TraceFile.empty();
-  Options.GenOptions = Gen;
   driver::PipelineResult R = driver::runPipeline(Source, Options);
   if (!R.ok()) {
     std::fprintf(stderr, "aflc: pipeline failed:\n%s", R.Diags.str().c_str());
@@ -195,6 +336,20 @@ int main(int Argc, char **Argv) {
     Row("max values held", R.Conservative.S.MaxValues, R.Afl.S.MaxValues);
     Row("final values", R.Conservative.S.FinalValues, R.Afl.S.FinalValues);
     std::printf("result: %s\n", R.Afl.ResultText.c_str());
+  }
+
+  if (Timings)
+    std::fputs(R.formatTimings().c_str(), stdout);
+
+  if (Metrics) {
+    MetricsRegistry Reg;
+    Reg.set("aflc_metrics_version", 1);
+    {
+      MetricScope S(Reg, "pipeline");
+      R.recordMetrics(Reg);
+    }
+    if (!emitJson(MetricsFile, Reg.json()))
+      return 1;
   }
 
   if (!TraceFile.empty() && !NoRun) {

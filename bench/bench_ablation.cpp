@@ -5,6 +5,9 @@
 /// which of the A-F-L ingredients buys how much memory? Configurations:
 ///
 ///   full        alloc late + free early + free_app (the paper's system)
+///   no-simplify full, but solving the raw constraint system (skips the
+///               union-find collapse + component decomposition; must
+///               reproduce the `full` column exactly)
 ///   no-freeapp  drop the free_app choice point (§1)
 ///   lex-alloc   allocation only at the letregion (alloc still explicit)
 ///   lex-free    deallocation only at the letregion
@@ -33,13 +36,16 @@ namespace {
 struct Config {
   const char *Name;
   constraints::GenOptions Options;
+  solver::SolveOptions Solve;
 };
 
 uint64_t maxValuesUnder(const regions::RegionProgram &Prog,
                         const constraints::GenOptions &Options,
-                        const char *Name, const char *Program) {
+                        const solver::SolveOptions &Solve, const char *Name,
+                        const char *Program) {
   completion::AflStats Stats;
-  regions::Completion C = completion::aflCompletion(Prog, &Stats, Options);
+  regions::Completion C = completion::aflCompletion(Prog, &Stats, Options,
+                                                    Solve);
   if (!Stats.Solved) {
     std::fprintf(stderr, "%s/%s: solver fell back to conservative\n",
                  Program, Name);
@@ -56,19 +62,21 @@ uint64_t maxValuesUnder(const regions::RegionProgram &Prog,
 } // namespace
 
 int main() {
-  Config Configs[5];
-  Configs[0] = {"full", {}};
-  Configs[1] = {"no-freeapp", {}};
-  Configs[1].Options.FreeApp = false;
-  Configs[2] = {"lex-alloc", {}};
-  Configs[2].Options.LateAlloc = false;
-  Configs[3] = {"lex-free", {}};
-  Configs[3].Options.EarlyFree = false;
-  Configs[3].Options.FreeApp = false;
-  Configs[4] = {"lexical", {}};
-  Configs[4].Options.LateAlloc = false;
+  Config Configs[6];
+  Configs[0] = {"full", {}, {}};
+  Configs[1] = {"no-simplify", {}, {}};
+  Configs[1].Solve.Simplify = false;
+  Configs[2] = {"no-freeapp", {}, {}};
+  Configs[2].Options.FreeApp = false;
+  Configs[3] = {"lex-alloc", {}, {}};
+  Configs[3].Options.LateAlloc = false;
+  Configs[4] = {"lex-free", {}, {}};
   Configs[4].Options.EarlyFree = false;
   Configs[4].Options.FreeApp = false;
+  Configs[5] = {"lexical", {}, {}};
+  Configs[5].Options.LateAlloc = false;
+  Configs[5].Options.EarlyFree = false;
+  Configs[5].Options.FreeApp = false;
 
   std::printf("ablation — max storable values held\n");
   std::printf("%-16s", "program");
@@ -91,7 +99,7 @@ int main() {
     for (const Config &C : Configs)
       std::printf(" %11llu",
                   (unsigned long long)maxValuesUnder(*Prog, C.Options,
-                                                     C.Name,
+                                                     C.Solve, C.Name,
                                                      P.Name.c_str()));
     regions::Completion Cons = completion::conservativeCompletion(*Prog);
     interp::RunResult R = interp::run(*Prog, Cons);

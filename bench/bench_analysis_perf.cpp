@@ -24,6 +24,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <set>
+
 using namespace afl;
 
 namespace {
@@ -148,6 +151,74 @@ void BM_ConstraintGenAndSolve(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ConstraintGenAndSolve)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// Solve-stage series: the same generated constraint system solved raw
+/// (the pre-simplification §4.3 solver), with preprocessing, and with
+/// preprocessing + parallel per-component solving. Prints a one-shot
+/// constraint reduction-ratio report line and surfaces the graph sizes
+/// as counters.
+void solveSeries(benchmark::State &State,
+                 const solver::SolveOptions &Options) {
+  std::string Src = chainProgram(static_cast<int>(State.range(0)));
+  auto F = frontend(Src);
+  auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+  closure::ClosureAnalysis CA(*Prog);
+  CA.run();
+  constraints::GenResult Gen = constraints::generateConstraints(*Prog, CA);
+  solver::SolveResult Sol;
+  for (auto _ : State) {
+    Sol = solver::solve(Gen.Sys, Options);
+    benchmark::DoNotOptimize(Sol.Sat);
+  }
+  State.counters["cons_before"] =
+      static_cast<double>(Gen.Sys.numConstraints());
+  if (Options.Simplify) {
+    const solver::SimplifyStats &Simp = Sol.Simplify;
+    State.counters["cons_after"] = static_cast<double>(Simp.ConstraintsAfter);
+    State.counters["components"] = static_cast<double>(Simp.Components);
+    // Benchmark calibration reruns this function; report each size once.
+    static std::set<long> Reported;
+    if (!Reported.insert(State.range(0)).second)
+      return;
+    std::printf("# solve-reduction K=%ld: %zu state vars -> %zu, "
+                "%zu constraints -> %zu (ratio %.2f), %zu eq removed, "
+                "%zu components (largest %zu)\n",
+                State.range(0), Simp.StateVarsBefore, Simp.StateVarsAfter,
+                Simp.ConstraintsBefore, Simp.ConstraintsAfter,
+                Simp.ConstraintsBefore
+                    ? static_cast<double>(Simp.ConstraintsAfter) /
+                          static_cast<double>(Simp.ConstraintsBefore)
+                    : 0.0,
+                Simp.EqRemoved, Simp.Components, Simp.LargestComponent);
+  }
+}
+
+void BM_SolveRaw(benchmark::State &State) {
+  solver::SolveOptions Options;
+  Options.Simplify = false;
+  solveSeries(State, Options);
+}
+BENCHMARK(BM_SolveRaw)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+
+void BM_SolveSimplified(benchmark::State &State) {
+  solver::SolveOptions Options;
+  Options.Jobs = 1; // preprocessing only; components solved sequentially
+  solveSeries(State, Options);
+}
+BENCHMARK(BM_SolveSimplified)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+
+void BM_SolveSimplifiedParallel(benchmark::State &State) {
+  solver::SolveOptions Options;
+  Options.Jobs = 0;                  // all hardware threads
+  Options.ParallelMinConstraints = 0; // measure the pool even when small
+  solveSeries(State, Options);
+}
+BENCHMARK(BM_SolveSimplifiedParallel)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)
+    ->UseRealTime();
 
 void BM_FullAnalysis_Corpus(benchmark::State &State) {
   auto Corpus = programs::table2Corpus();

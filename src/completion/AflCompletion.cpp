@@ -14,7 +14,8 @@ using namespace afl::regions;
 
 Completion completion::aflCompletion(const RegionProgram &Prog,
                                      AflStats *Stats,
-                                     const constraints::GenOptions &Options) {
+                                     const constraints::GenOptions &Options,
+                                     const solver::SolveOptions &Solve) {
   Stopwatch Watch;
   closure::ClosureAnalysis CA(Prog);
   unsigned Passes = CA.run();
@@ -24,7 +25,7 @@ Completion completion::aflCompletion(const RegionProgram &Prog,
   constraints::GenResult Gen =
       constraints::generateConstraints(Prog, CA, Options);
   double GenSeconds = Watch.seconds();
-  solver::SolveResult Sol = solver::solve(Gen.Sys);
+  solver::SolveResult Sol = solver::solve(Gen.Sys, Solve);
   Watch.reset();
 
   if (Stats) {
@@ -41,6 +42,7 @@ Completion completion::aflCompletion(const RegionProgram &Prog,
     Stats->SolverPropagations = Sol.Propagations;
     Stats->SolverChoices = Sol.Choices;
     Stats->SolverBacktracks = Sol.Backtracks;
+    Stats->SolverSimplify = Sol.Simplify;
     Stats->Solved = Sol.Sat;
   }
 

@@ -13,6 +13,7 @@
 #include "constraints/ConstraintGen.h"
 #include "regions/Completion.h"
 #include "regions/RegionProgram.h"
+#include "solver/Solver.h"
 
 #include <cstdint>
 #include <string>
@@ -32,6 +33,9 @@ struct AflStats {
   uint64_t SolverPropagations = 0;
   uint64_t SolverChoices = 0;
   uint64_t SolverBacktracks = 0;
+  /// Constraint-graph preprocessing statistics (zeros when the solve ran
+  /// with simplification disabled).
+  solver::SimplifyStats SolverSimplify;
   /// Wall-clock seconds per analysis sub-stage (see docs/OBSERVABILITY.md).
   double ClosureSeconds = 0;
   double ConstraintGenSeconds = 0;
@@ -45,11 +49,13 @@ struct AflStats {
 
 /// Computes the A-F-L completion for \p Prog. On solver failure returns
 /// the conservative completion (and reports Solved = false). \p Options
-/// selects ablated variants (see constraints::GenOptions).
+/// selects ablated variants (see constraints::GenOptions); \p Solve
+/// configures the solver's preprocessing layer (see solver::SolveOptions).
 regions::Completion
 aflCompletion(const regions::RegionProgram &Prog, AflStats *Stats = nullptr,
               const constraints::GenOptions &Options =
-                  constraints::GenOptions());
+                  constraints::GenOptions(),
+              const solver::SolveOptions &Solve = solver::SolveOptions());
 
 } // namespace completion
 } // namespace afl

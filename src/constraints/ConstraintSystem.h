@@ -89,6 +89,15 @@ public:
   size_t numBoolVars() const { return BoolDom.size(); }
   size_t numConstraints() const { return Cons.size(); }
 
+  /// Number of constraints of one kind (e.g. the solver preprocessing
+  /// proof obligation: zero `Eq` constraints post-simplification).
+  size_t numConstraintsOfKind(Constraint::Kind K) const {
+    size_t N = 0;
+    for (const Constraint &C : Cons)
+      N += C.K == K;
+    return N;
+  }
+
   // Solver access.
   std::vector<uint8_t> StateDom;
   std::vector<uint8_t> BoolDom;

@@ -21,6 +21,7 @@ void accumulateAnalysis(completion::AflStats &Agg,
   Agg.SolverPropagations += S.SolverPropagations;
   Agg.SolverChoices += S.SolverChoices;
   Agg.SolverBacktracks += S.SolverBacktracks;
+  Agg.SolverSimplify.accumulate(S.SolverSimplify);
   Agg.ClosureSeconds += S.ClosureSeconds;
   Agg.ConstraintGenSeconds += S.ConstraintGenSeconds;
   Agg.SolveSeconds += S.SolveSeconds;

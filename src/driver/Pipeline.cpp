@@ -75,6 +75,24 @@ void driver::recordPipelineMetrics(MetricsRegistry &Reg,
       Reg.add("propagations", Analysis.SolverPropagations);
       Reg.add("choices", Analysis.SolverChoices);
       Reg.add("backtracks", Analysis.SolverBacktracks);
+      {
+        const solver::SimplifyStats &Simp = Analysis.SolverSimplify;
+        MetricScope Pre(Reg, "simplify");
+        Reg.set("state_vars_before", Simp.StateVarsBefore);
+        Reg.set("state_vars_after", Simp.StateVarsAfter);
+        Reg.set("constraints_before", Simp.ConstraintsBefore);
+        Reg.set("constraints_after", Simp.ConstraintsAfter);
+        Reg.set("eq_removed", Simp.EqRemoved);
+        Reg.set("dup_triples_removed", Simp.DupTriplesRemoved);
+        Reg.set("forced_triples_removed", Simp.ForcedTriplesRemoved);
+        Reg.set("bools_forced", Simp.BoolsForced);
+        Reg.set("components", Simp.Components);
+        Reg.set("largest_component", Simp.LargestComponent);
+        Reg.set("threads", Simp.ThreadsUsed);
+        Reg.addTime("simplify_seconds", Simp.SimplifySeconds);
+        Reg.addTime("components_seconds", Simp.ComponentSeconds);
+        Reg.addTime("reconstruct_seconds", Simp.ReconstructSeconds);
+      }
     }
     Stage("extract", Stats.ExtractSeconds);
     Stage("run_conservative", Stats.RunConservativeSeconds);
@@ -137,6 +155,16 @@ std::string driver::formatTimings(const PipelineStats &Stats,
                 (unsigned long long)Analysis.SolverChoices,
                 (unsigned long long)Analysis.SolverBacktracks);
   Out += Buf;
+  const solver::SimplifyStats &Simp = Analysis.SolverSimplify;
+  if (Simp.ConstraintsBefore) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "simplify: %zu vars -> %zu, %zu constraints -> %zu, "
+                  "%zu component(s), %zu thread(s)\n",
+                  Simp.StateVarsBefore, Simp.StateVarsAfter,
+                  Simp.ConstraintsBefore, Simp.ConstraintsAfter,
+                  Simp.Components, Simp.ThreadsUsed);
+    Out += Buf;
+  }
   return Out;
 }
 
@@ -182,7 +210,7 @@ PipelineResult driver::runPipeline(std::string_view Source,
   R.Stats.ConservativeSeconds = Watch.seconds();
 
   R.AflC = completion::aflCompletion(*R.Prog, &R.Analysis,
-                                     Options.GenOptions);
+                                     Options.GenOptions, Options.SolveOptions);
   R.Stats.ClosureSeconds = R.Analysis.ClosureSeconds;
   R.Stats.ConstraintGenSeconds = R.Analysis.ConstraintGenSeconds;
   R.Stats.SolveSeconds = R.Analysis.SolveSeconds;

@@ -38,6 +38,9 @@ struct PipelineOptions {
   bool SkipReference = false;
   /// Choice-point generation switches (ablations).
   constraints::GenOptions GenOptions;
+  /// Solver preprocessing switches (`aflc --no-simplify`,
+  /// `--solver-jobs N`).
+  solver::SolveOptions SolveOptions;
 };
 
 /// Per-stage observability for one pipeline run: wall-clock time of every

@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Connected-component decomposition of a (simplified) constraint
+/// system. Two variables are connected when some constraint mentions
+/// both; a triple additionally connects its boolean to both states, so
+/// booleans shared across contexts merge the contexts' chains into one
+/// component. Components share no variables, so each can be solved
+/// independently (and, above a size threshold, in parallel) — the
+/// per-procedure decomposition insight of the Mercury region system
+/// (PAPERS.md) applied to the §4.3 solve.
+///
+/// Determinism: components are ordered by their smallest state
+/// variable, and local ids ascend in global-id order, so the projected
+/// execution of each component is identical to the monolithic solve's
+/// execution restricted to that component (docs/SOLVER.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SOLVER_COMPONENTS_H
+#define AFL_SOLVER_COMPONENTS_H
+
+#include "constraints/ConstraintSystem.h"
+
+namespace afl {
+namespace solver {
+
+/// One connected component, as a self-contained system over local ids.
+struct Component {
+  constraints::ConstraintSystem Sys;
+  /// Local state/bool variable id -> id in the source system.
+  std::vector<constraints::StateVarId> StateGlobal;
+  std::vector<constraints::BoolVarId> BoolGlobal;
+};
+
+struct ComponentSplit {
+  std::vector<Component> Comps;
+  /// Constraint count of the largest component.
+  size_t LargestConstraints = 0;
+};
+
+/// Splits \p Sys into connected components. Variables that occur in no
+/// constraint belong to no component (the caller keeps their initial
+/// domains; unforced booleans default to false downstream).
+ComponentSplit splitComponents(const constraints::ConstraintSystem &Sys);
+
+/// Component count and largest-component constraint count, without
+/// materializing the per-component systems — the sequential solve path
+/// wants the statistics but solves the system monolithically, so the
+/// copies (and their occurrence-list rebuilds) would be pure overhead.
+struct ComponentCount {
+  size_t Components = 0;
+  size_t LargestConstraints = 0;
+};
+ComponentCount countComponents(const constraints::ConstraintSystem &Sys);
+
+} // namespace solver
+} // namespace afl
+
+#endif // AFL_SOLVER_COMPONENTS_H

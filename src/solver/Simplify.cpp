@@ -1,0 +1,347 @@
+#include "solver/Simplify.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace afl;
+using namespace afl::solver;
+using namespace afl::constraints;
+
+void SimplifyStats::accumulate(const SimplifyStats &Other) {
+  StateVarsBefore += Other.StateVarsBefore;
+  StateVarsAfter += Other.StateVarsAfter;
+  ConstraintsBefore += Other.ConstraintsBefore;
+  ConstraintsAfter += Other.ConstraintsAfter;
+  EqRemoved += Other.EqRemoved;
+  DupTriplesRemoved += Other.DupTriplesRemoved;
+  ForcedTriplesRemoved += Other.ForcedTriplesRemoved;
+  BoolsForced += Other.BoolsForced;
+  Components += Other.Components;
+  LargestComponent = std::max(LargestComponent, Other.LargestComponent);
+  ThreadsUsed = std::max(ThreadsUsed, Other.ThreadsUsed);
+  SimplifySeconds += Other.SimplifySeconds;
+  ComponentSeconds += Other.ComponentSeconds;
+  ReconstructSeconds += Other.ReconstructSeconds;
+}
+
+SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
+  SimplifiedSystem Out;
+  Out.Stats.StateVarsBefore = Sys.numStateVars();
+  Out.Stats.ConstraintsBefore = Sys.numConstraints();
+
+  // An empty *initial* domain is a conflict even if the variable occurs
+  // in no constraint (restrictState can zero a domain the propagator
+  // never visits).
+  for (uint8_t D : Sys.StateDom) {
+    if (D == 0) {
+      Out.Conflict = true;
+      return Out;
+    }
+  }
+
+  // Union-find over the state variables. Each root carries the class
+  // domain (the intersection of the members' initial domains) and, in
+  // phase 2, the list of triples touching the class.
+  std::vector<uint32_t> Parent(Sys.numStateVars());
+  for (uint32_t I = 0; I != Parent.size(); ++I)
+    Parent[I] = I;
+  std::vector<uint8_t> Dom = Sys.StateDom;
+  auto Find = [&Parent](uint32_t V) {
+    while (Parent[V] != V) {
+      Parent[V] = Parent[Parent[V]];
+      V = Parent[V];
+    }
+    return V;
+  };
+
+  // Phase 1: collapse every Eq constraint; collect the triples.
+  std::vector<uint32_t> Triples;
+  Triples.reserve(Sys.Cons.size());
+  for (uint32_t CI = 0; CI != Sys.Cons.size(); ++CI) {
+    const Constraint &C = Sys.Cons[CI];
+    if (C.K != Constraint::Kind::Eq) {
+      Triples.push_back(CI);
+      continue;
+    }
+    ++Out.Stats.EqRemoved;
+    uint32_t A = Find(C.S1), B = Find(C.S2);
+    if (A == B)
+      continue;
+    Parent[B] = A;
+    Dom[A] &= Dom[B];
+    if (Dom[A] == 0) {
+      Out.Conflict = true;
+      return Out;
+    }
+  }
+
+  // Phase 2: apply forced booleans to a fixpoint, worklist-driven. A
+  // triple is (re)examined when one of its endpoint classes merges or
+  // shrinks, or its boolean is forced. Classes keep their incident
+  // triple lists — array-backed linked lists over a fixed node pool, so
+  // a class merge concatenates in O(1) with no allocation — merged
+  // small-into-large, making the whole phase near-linear. A
+  // forced-false triple is an equality (fed back into the union-find,
+  // so collapses cascade).
+  const size_t NT = Triples.size();
+  std::vector<bool> Alive(NT, true), InQ(NT, false);
+  std::vector<uint32_t> Queue;
+  Queue.reserve(NT);
+  size_t QHead = 0;
+  auto Enqueue = [&](uint32_t TI) {
+    if (Alive[TI] && !InQ[TI]) {
+      InQ[TI] = true;
+      Queue.push_back(TI);
+    }
+  };
+
+  // Constraint index -> dense triple index (for BoolOcc lookups).
+  constexpr uint32_t None = ~0u;
+  std::vector<uint32_t> TripleOf(Sys.Cons.size(), None);
+  for (uint32_t TI = 0; TI != NT; ++TI)
+    TripleOf[Triples[TI]] = TI;
+
+  // Per-root incident triple lists (post-Eq roots): Head/Tail/Count per
+  // root, nodes preallocated (at most two incidences per triple).
+  std::vector<uint32_t> Head(Sys.numStateVars(), None);
+  std::vector<uint32_t> Tail(Sys.numStateVars(), None);
+  std::vector<uint32_t> Count(Sys.numStateVars(), 0);
+  std::vector<uint32_t> NodeTriple, NodeNext;
+  NodeTriple.reserve(2 * NT);
+  NodeNext.reserve(2 * NT);
+  auto AddIncidence = [&](uint32_t R, uint32_t TI) {
+    uint32_t N = static_cast<uint32_t>(NodeTriple.size());
+    NodeTriple.push_back(TI);
+    NodeNext.push_back(Head[R]);
+    Head[R] = N;
+    if (Tail[R] == None)
+      Tail[R] = N;
+    ++Count[R];
+  };
+  for (uint32_t TI = 0; TI != NT; ++TI) {
+    const Constraint &C = Sys.Cons[Triples[TI]];
+    uint32_t R1 = Find(C.S1), R2 = Find(C.S2);
+    AddIncidence(R1, TI);
+    if (R2 != R1)
+      AddIncidence(R2, TI);
+  }
+  auto EnqueueClass = [&](uint32_t R) {
+    for (uint32_t N = Head[R]; N != None; N = NodeNext[N])
+      Enqueue(NodeTriple[N]);
+  };
+
+  bool Conflict = false;
+  // Merges B's class into A's (or vice versa — the larger incident list
+  // wins). Enqueues the absorbed side's triples (their root identity
+  // changed) and, when the surviving domain shrank, the surviving
+  // side's too.
+  auto Merge = [&](uint32_t A, uint32_t B) {
+    A = Find(A);
+    B = Find(B);
+    if (A == B)
+      return;
+    if (Count[A] < Count[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    uint8_t NewDom = Dom[A] & Dom[B];
+    if (NewDom != Dom[A])
+      EnqueueClass(A);
+    EnqueueClass(B);
+    Dom[A] = NewDom;
+    if (NewDom == 0) {
+      Conflict = true;
+      return;
+    }
+    if (Head[B] != None) {
+      if (Head[A] == None) {
+        Head[A] = Head[B];
+      } else {
+        NodeNext[Tail[A]] = Head[B];
+      }
+      Tail[A] = Tail[B];
+      Count[A] += Count[B];
+      Head[B] = Tail[B] = None;
+      Count[B] = 0;
+    }
+  };
+  auto Restrict = [&](uint32_t R, uint8_t Mask) {
+    R = Find(R);
+    uint8_t NewDom = Dom[R] & Mask;
+    if (NewDom == Dom[R])
+      return;
+    Dom[R] = NewDom;
+    if (NewDom == 0) {
+      Conflict = true;
+      return;
+    }
+    EnqueueClass(R);
+  };
+
+  std::vector<uint8_t> BD(Sys.numBoolVars(), BAny);
+  auto ForceBool = [&](BoolVarId B, uint8_t Value) {
+    assert(BD[B] == BAny);
+    BD[B] = Value;
+    ++Out.Stats.BoolsForced;
+    for (uint32_t CI : Sys.BoolOcc[B])
+      if (TripleOf[CI] != None)
+        Enqueue(TripleOf[CI]);
+  };
+
+  for (uint32_t TI = 0; TI != NT; ++TI)
+    Enqueue(TI);
+  while (QHead != Queue.size() && !Conflict) {
+    uint32_t TI = Queue[QHead++];
+    InQ[TI] = false;
+    if (!Alive[TI])
+      continue;
+    const Constraint &C = Sys.Cons[Triples[TI]];
+    const bool IsAlloc = C.K == Constraint::Kind::AllocTriple;
+    const uint8_t From = IsAlloc ? StU : StA;
+    const uint8_t To = IsAlloc ? StA : StD;
+    uint32_t R1 = Find(C.S1), R2 = Find(C.S2);
+    if (BD[C.B] == BTrue) {
+      // Checked before the R1 == R2 case: a true boolean on a
+      // same-representative triple empties the domain below (From and
+      // To are disjoint), which is the correct conflict.
+      Alive[TI] = false;
+      ++Out.Stats.ForcedTriplesRemoved;
+      Restrict(R1, From);
+      if (!Conflict)
+        Restrict(R2, To);
+      continue;
+    }
+    if (BD[C.B] == BFalse || R1 == R2) {
+      // ¬b → s1 = s2. With s1 and s2 already one variable the
+      // transition is impossible, so b is false either way.
+      Alive[TI] = false;
+      ++Out.Stats.ForcedTriplesRemoved;
+      if (BD[C.B] == BAny)
+        ForceBool(C.B, BFalse);
+      Merge(R1, R2);
+      continue;
+    }
+    uint8_t D1 = Dom[R1], D2 = Dom[R2];
+    if (!(D1 & From) || !(D2 & To)) {
+      // The transition states are unreachable: b must be false.
+      Alive[TI] = false;
+      ++Out.Stats.ForcedTriplesRemoved;
+      ForceBool(C.B, BFalse);
+      Merge(R1, R2);
+      continue;
+    }
+    if ((D1 & D2) == 0) {
+      // s1 = s2 is impossible: b must be true.
+      Alive[TI] = false;
+      ++Out.Stats.ForcedTriplesRemoved;
+      ForceBool(C.B, BTrue);
+      Restrict(R1, From);
+      if (!Conflict)
+        Restrict(R2, To);
+      continue;
+    }
+  }
+  if (Conflict) {
+    Out.Conflict = true;
+    return Out;
+  }
+
+  // Phase 3: number the representatives (ascending order of the
+  // smallest class member, so relative variable order is preserved) and
+  // record the original -> representative mapping.
+  std::vector<uint32_t> RepId(Sys.numStateVars(), None);
+  Out.StateRep.resize(Sys.numStateVars());
+  ConstraintSystem &Res = Out.Residual;
+  for (uint32_t V = 0; V != Sys.numStateVars(); ++V) {
+    uint32_t Root = Find(V);
+    if (RepId[Root] == None)
+      RepId[Root] = Res.newState(Dom[Root]);
+    Out.StateRep[V] = RepId[Root];
+  }
+
+  // Boolean ids survive unchanged; forced values become singleton
+  // initial domains.
+  Res.BoolDom = BD;
+  Res.BoolOcc.resize(BD.size());
+
+  // Phase 4: emit the surviving triples, deduplicating identical ones
+  // with a flat open-addressing table (keys are nonzero: at fixpoint no
+  // live triple has equal representatives, so the zero key — equal
+  // representatives 0, boolean 0, dealloc kind — cannot arise and
+  // serves as the empty marker). The kept copy takes the *last*
+  // occurrence's position: the solver's candidate stacks pop from the
+  // back, so of two identical triples the later one is considered first
+  // — preserving that position keeps the choice order (and therefore
+  // the solution) bit-identical to the raw solver's.
+  size_t TableCap = 16;
+  while (TableCap < 2 * NT)
+    TableCap <<= 1;
+  std::vector<uint64_t> Table(TableCap, 0);
+  auto InsertKey = [&](uint64_t Key) {
+    const size_t Mask = TableCap - 1;
+    size_t H = (Key * 0x9E3779B97F4A7C15ull >> 32) & Mask;
+    for (;;) {
+      uint64_t E = Table[H];
+      if (E == 0) {
+        Table[H] = Key;
+        return true;
+      }
+      if (E == Key)
+        return false;
+      H = (H + 1) & Mask;
+    }
+  };
+  std::vector<uint32_t> Kept;
+  Kept.reserve(NT);
+  for (size_t TI = NT; TI-- > 0;) {
+    if (!Alive[TI])
+      continue;
+    const Constraint &C = Sys.Cons[Triples[TI]];
+    uint32_t R1 = Out.StateRep[C.S1];
+    uint32_t R2 = Out.StateRep[C.S2];
+    assert(R1 != R2 && "live triple with equal representatives");
+    // Pack (kind, s1, s2, b): ids are dense and < 2^21 in any system
+    // this repo generates.
+    uint64_t Key = (static_cast<uint64_t>(C.K == Constraint::Kind::AllocTriple)
+                    << 63) |
+                   (static_cast<uint64_t>(R1) << 42) |
+                   (static_cast<uint64_t>(R2) << 21) |
+                   static_cast<uint64_t>(C.B);
+    if (InsertKey(Key))
+      Kept.push_back(Triples[TI]);
+    else
+      ++Out.Stats.DupTriplesRemoved;
+  }
+  std::reverse(Kept.begin(), Kept.end());
+
+  // Reserve the exact occurrence-list sizes before adding constraints —
+  // growth reallocations of tens of thousands of small vectors would
+  // otherwise dominate this phase.
+  {
+    std::vector<uint32_t> SDeg(Res.numStateVars(), 0);
+    std::vector<uint32_t> BDeg(BD.size(), 0);
+    for (uint32_t CI : Kept) {
+      const Constraint &C = Sys.Cons[CI];
+      ++SDeg[Out.StateRep[C.S1]];
+      ++SDeg[Out.StateRep[C.S2]];
+      ++BDeg[C.B];
+    }
+    for (size_t V = 0; V != SDeg.size(); ++V)
+      if (SDeg[V])
+        Res.StateOcc[V].reserve(SDeg[V]);
+    for (size_t B = 0; B != BDeg.size(); ++B)
+      if (BDeg[B])
+        Res.BoolOcc[B].reserve(BDeg[B]);
+  }
+  Res.Cons.reserve(Kept.size());
+  for (uint32_t CI : Kept) {
+    const Constraint &C = Sys.Cons[CI];
+    if (C.K == Constraint::Kind::AllocTriple)
+      Res.addAllocTriple(Out.StateRep[C.S1], C.B, Out.StateRep[C.S2]);
+    else
+      Res.addDeallocTriple(Out.StateRep[C.S1], C.B, Out.StateRep[C.S2]);
+  }
+
+  Out.Stats.StateVarsAfter = Res.numStateVars();
+  Out.Stats.ConstraintsAfter = Res.numConstraints();
+  return Out;
+}

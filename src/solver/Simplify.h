@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solver preprocessing (constraint-graph simplification). The §4.3
+/// solver treats every `Eq` constraint as a live arc that must be
+/// re-propagated whenever either endpoint changes. Following the
+/// inclusion-constraint simplification line of work (see PAPERS.md),
+/// this pass shrinks the system *before* solving:
+///
+///   1. **Equality collapse** — union-find over the state variables
+///      merges every `Eq`-connected class into one representative whose
+///      initial domain is the intersection of the members' domains.
+///      `Eq` constraints disappear from the solve entirely; an empty
+///      intersection is an early conflict (unsatisfiable).
+///   2. **Forced-boolean elimination** — a triple whose boolean value is
+///      already determined by the initial representative domains is
+///      applied and dropped: `b = false` turns the triple into an
+///      equality (fed back into the union-find, so collapses cascade);
+///      `b = true` restricts the endpoint domains to the transition
+///      states. A triple whose endpoints share a representative forces
+///      `b = false` (the U→A / A→D transition cannot happen on one
+///      variable).
+///   3. **Deduplication** — identical residual triples (same kind,
+///      representatives and boolean) are kept once.
+///
+/// The **representative-mapping invariant**: at any propagation fixpoint
+/// of the raw solver, all `Eq`-connected variables hold identical
+/// domains, so mapping the representative's solved domain back over the
+/// class reproduces the raw solver's answer (docs/SOLVER.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SOLVER_SIMPLIFY_H
+#define AFL_SOLVER_SIMPLIFY_H
+
+#include "constraints/ConstraintSystem.h"
+
+namespace afl {
+namespace solver {
+
+/// Preprocessing statistics; flows into SolveResult / AflStats /
+/// PipelineStats and the `--metrics` JSON (docs/OBSERVABILITY.md).
+struct SimplifyStats {
+  size_t StateVarsBefore = 0;
+  size_t StateVarsAfter = 0;
+  size_t ConstraintsBefore = 0;
+  size_t ConstraintsAfter = 0;
+  /// `Eq` constraints removed by the union-find collapse (all of them).
+  size_t EqRemoved = 0;
+  /// Identical residual triples dropped.
+  size_t DupTriplesRemoved = 0;
+  /// Triples dropped because their boolean was forced.
+  size_t ForcedTriplesRemoved = 0;
+  /// Boolean variables fixed during preprocessing.
+  size_t BoolsForced = 0;
+  /// Connected components of the residual graph (0 when empty).
+  size_t Components = 0;
+  /// Constraint count of the largest component.
+  size_t LargestComponent = 0;
+  /// Worker threads used for the per-component solve.
+  size_t ThreadsUsed = 1;
+  /// Per-phase wall-clock seconds.
+  double SimplifySeconds = 0;
+  double ComponentSeconds = 0;
+  double ReconstructSeconds = 0;
+
+  /// Pointwise sum (batch aggregation); LargestComponent takes the max.
+  void accumulate(const SimplifyStats &Other);
+};
+
+/// The simplified system plus the mapping back to the original variable
+/// space.
+struct SimplifiedSystem {
+  /// Residual system over representative state variables: no `Eq`
+  /// constraints, no duplicates, no forced-boolean triples. Boolean
+  /// variable ids are preserved (forced booleans appear with singleton
+  /// domains and no occurrences).
+  constraints::ConstraintSystem Residual;
+  /// Original state variable -> representative id in `Residual`.
+  std::vector<constraints::StateVarId> StateRep;
+  /// True if preprocessing proved the system unsatisfiable (an empty
+  /// domain intersection). `Residual` is left partially built.
+  bool Conflict = false;
+  SimplifyStats Stats;
+};
+
+/// Runs the preprocessing pass over \p Sys (which is not modified).
+SimplifiedSystem simplify(const constraints::ConstraintSystem &Sys);
+
+} // namespace solver
+} // namespace afl
+
+#endif // AFL_SOLVER_SIMPLIFY_H

@@ -1,10 +1,13 @@
 #include "solver/Solver.h"
 
+#include "solver/Components.h"
 #include "support/Metrics.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
-#include <deque>
+#include <thread>
 
 using namespace afl;
 using namespace afl::solver;
@@ -16,7 +19,8 @@ class SolverImpl {
 public:
   explicit SolverImpl(const ConstraintSystem &Sys)
       : Sys(Sys), SD(Sys.StateDom), BD(Sys.BoolDom),
-        InQueue(Sys.Cons.size(), false) {}
+        InQueue(Sys.Cons.size(), false), InAllocCand(Sys.Cons.size(), false),
+        InDeallocCand(Sys.Cons.size(), false) {}
 
   SolveResult run();
 
@@ -35,14 +39,24 @@ private:
 
   void noteChange(bool IsBool, uint32_t Id) {
     // Any domain change can create new border candidates among the
-    // constraints mentioning the variable.
+    // constraints mentioning the variable. The in-stack bitmaps keep
+    // each constraint queued at most once — without them,
+    // propagation-heavy programs push the same index on every domain
+    // change (quadratic growth).
     const auto &Occ = IsBool ? Sys.BoolOcc[Id] : Sys.StateOcc[Id];
     for (uint32_t CI : Occ) {
       const Constraint &C = Sys.Cons[CI];
-      if (C.K == Constraint::Kind::AllocTriple)
-        AllocCand.push_back(CI);
-      else if (C.K == Constraint::Kind::DeallocTriple)
-        DeallocCand.push_back(CI);
+      if (C.K == Constraint::Kind::AllocTriple) {
+        if (!InAllocCand[CI]) {
+          InAllocCand[CI] = true;
+          AllocCand.push_back(CI);
+        }
+      } else if (C.K == Constraint::Kind::DeallocTriple) {
+        if (!InDeallocCand[CI]) {
+          InDeallocCand[CI] = true;
+          DeallocCand.push_back(CI);
+        }
+      }
     }
     if (IsBool && Id < BoolPointer)
       BoolPointer = Id;
@@ -126,19 +140,21 @@ private:
   }
 
   bool propagate() {
-    while (!Queue.empty()) {
-      uint32_t CI = Queue.front();
-      Queue.pop_front();
+    while (QueueHead != Queue.size()) {
+      uint32_t CI = Queue[QueueHead++];
       InQueue[CI] = false;
       ++Stats.Propagations;
       if (!propagateOne(Sys.Cons[CI])) {
         // Drain the queue; state is rolled back by the caller.
-        for (uint32_t Rest : Queue)
-          InQueue[Rest] = false;
+        for (size_t I = QueueHead; I != Queue.size(); ++I)
+          InQueue[Queue[I]] = false;
         Queue.clear();
+        QueueHead = 0;
         return false;
       }
     }
+    Queue.clear();
+    QueueHead = 0;
     return true;
   }
 
@@ -175,19 +191,23 @@ private:
       Seeded = true;
       for (uint32_t CI = 0; CI != Sys.Cons.size(); ++CI) {
         const Constraint &C = Sys.Cons[CI];
-        if (C.K == Constraint::Kind::AllocTriple)
+        if (C.K == Constraint::Kind::AllocTriple) {
+          InAllocCand[CI] = true;
           AllocCand.push_back(CI);
-        else if (C.K == Constraint::Kind::DeallocTriple)
+        } else if (C.K == Constraint::Kind::DeallocTriple) {
+          InDeallocCand[CI] = true;
           DeallocCand.push_back(CI);
+        }
       }
     }
     while (!AllocCand.empty()) {
       uint32_t CI = AllocCand.back();
       AllocCand.pop_back();
+      InAllocCand[CI] = false;
       if (isAllocCandidate(Sys.Cons[CI])) {
-        // Keep it queued: if the decision is later rolled back, the
-        // candidate may need to be reconsidered (noteChange re-adds it,
-        // but only for variables on the trail).
+        // The candidate is popped, not peeked: if the decision is later
+        // rolled back, noteChange re-adds it for the variables on the
+        // trail.
         B = Sys.Cons[CI].B;
         Value = BTrue;
         return true;
@@ -196,6 +216,7 @@ private:
     while (!DeallocCand.empty()) {
       uint32_t CI = DeallocCand.back();
       DeallocCand.pop_back();
+      InDeallocCand[CI] = false;
       if (isDeallocCandidate(Sys.Cons[CI])) {
         B = Sys.Cons[CI].B;
         Value = BTrue;
@@ -215,7 +236,11 @@ private:
   const ConstraintSystem &Sys;
   std::vector<uint8_t> SD, BD;
   std::vector<bool> InQueue;
-  std::deque<uint32_t> Queue;
+  std::vector<bool> InAllocCand, InDeallocCand;
+  /// Index-cursor worklist: pushes append, pops advance QueueHead; the
+  /// storage is reclaimed whenever the queue drains.
+  std::vector<uint32_t> Queue;
+  size_t QueueHead = 0;
   std::vector<TrailEntry> Trail;
   std::vector<Decision> Decisions;
   std::vector<uint32_t> AllocCand, DeallocCand;
@@ -226,6 +251,22 @@ private:
 };
 
 SolveResult SolverImpl::run() {
+  // An empty initial domain is a conflict even when the variable occurs
+  // in no constraint — propagation would never visit it, and a
+  // completion extracted from such a "solution" would be unsound.
+  for (uint8_t D : SD) {
+    if (D == 0) {
+      Stats.Sat = false;
+      return Stats;
+    }
+  }
+  for (uint8_t D : BD) {
+    if (D == 0) {
+      Stats.Sat = false;
+      return Stats;
+    }
+  }
+
   // Initial propagation: seed with every constraint.
   for (uint32_t CI = 0; CI != Sys.Cons.size(); ++CI) {
     InQueue[CI] = true;
@@ -270,12 +311,150 @@ SolveResult SolverImpl::run() {
   }
 }
 
+/// Solves the components of \p Split (each written to its slot of
+/// \p Results) with \p Jobs workers. Returns false as soon as any
+/// component is unsatisfiable (remaining components are skipped).
+bool solveComponents(const ComponentSplit &Split,
+                     std::vector<SolveResult> &Results, unsigned Jobs) {
+  Results.resize(Split.Comps.size());
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> Failed{false};
+
+  auto Worker = [&] {
+    for (;;) {
+      if (Failed.load(std::memory_order_relaxed))
+        return;
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Split.Comps.size())
+        return;
+      SolverImpl S(Split.Comps[I].Sys);
+      Results[I] = S.run();
+      if (!Results[I].Sat)
+        Failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (Jobs <= 1 || Split.Comps.size() <= 1) {
+    Worker();
+  } else {
+    unsigned N = static_cast<unsigned>(
+        std::min<size_t>(Jobs, Split.Comps.size()));
+    std::vector<std::thread> Pool;
+    Pool.reserve(N);
+    for (unsigned T = 0; T != N; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+  return !Failed.load(std::memory_order_relaxed);
+}
+
 } // namespace
 
-SolveResult solver::solve(const ConstraintSystem &Sys) {
+SolveResult solver::solve(const ConstraintSystem &Sys,
+                          const SolveOptions &Options) {
   Stopwatch Watch;
-  SolverImpl S(Sys);
-  SolveResult R = S.run();
+
+  if (!Options.Simplify) {
+    SolverImpl S(Sys);
+    SolveResult R = S.run();
+    R.Seconds = Watch.seconds();
+    return R;
+  }
+
+  SolveResult R;
+  Stopwatch Phase;
+  SimplifiedSystem Simp = simplify(Sys);
+  R.Simplify = Simp.Stats;
+  R.Simplify.SimplifySeconds = Phase.seconds();
+  if (Simp.Conflict) {
+    R.Sat = false;
+    R.Seconds = Watch.seconds();
+    return R;
+  }
+
+  unsigned Jobs = Options.Jobs;
+  if (Jobs == 0)
+    Jobs = std::thread::hardware_concurrency();
+  if (Jobs == 0)
+    Jobs = 1;
+  if (Simp.Residual.numConstraints() < Options.ParallelMinConstraints)
+    Jobs = 1;
+
+  std::vector<uint8_t> RepDom, BoolOut;
+  if (Jobs <= 1) {
+    // Sequential: solve the residual monolithically. Materializing the
+    // per-component systems only pays off when they run on separate
+    // threads, so here the components are merely counted for the
+    // statistics.
+    Phase.reset();
+    ComponentCount Counts = countComponents(Simp.Residual);
+    R.Simplify.Components = Counts.Components;
+    R.Simplify.LargestComponent = Counts.LargestConstraints;
+    R.Simplify.ThreadsUsed = 1;
+    R.Simplify.ComponentSeconds = Phase.seconds();
+
+    SolverImpl S(Simp.Residual);
+    SolveResult Mono = S.run();
+    R.Propagations = Mono.Propagations;
+    R.Choices = Mono.Choices;
+    R.Backtracks = Mono.Backtracks;
+    if (!Mono.Sat) {
+      R.Sat = false;
+      R.Seconds = Watch.seconds();
+      return R;
+    }
+    Phase.reset();
+    RepDom = std::move(Mono.StateDom);
+    BoolOut = std::move(Mono.BoolDom);
+  } else {
+    Phase.reset();
+    ComponentSplit Split = splitComponents(Simp.Residual);
+    R.Simplify.Components = Split.Comps.size();
+    R.Simplify.LargestComponent = Split.LargestConstraints;
+    R.Simplify.ComponentSeconds = Phase.seconds();
+    R.Simplify.ThreadsUsed =
+        std::min<size_t>(Jobs, std::max<size_t>(Split.Comps.size(), 1));
+
+    std::vector<SolveResult> Comp;
+    bool Sat = solveComponents(Split, Comp, Jobs);
+    for (const SolveResult &C : Comp) {
+      R.Propagations += C.Propagations;
+      R.Choices += C.Choices;
+      R.Backtracks += C.Backtracks;
+    }
+    if (!Sat) {
+      R.Sat = false;
+      R.Seconds = Watch.seconds();
+      return R;
+    }
+    // Booleans not touched by any component keep their forced value or
+    // default to false below (no operation), exactly as the raw
+    // solver's final boolean sweep would set them.
+    Phase.reset();
+    RepDom = Simp.Residual.StateDom;
+    BoolOut = Simp.Residual.BoolDom;
+    for (size_t I = 0; I != Split.Comps.size(); ++I) {
+      const Component &CS = Split.Comps[I];
+      const SolveResult &CR = Comp[I];
+      for (size_t L = 0; L != CS.StateGlobal.size(); ++L)
+        RepDom[CS.StateGlobal[L]] = CR.StateDom[L];
+      for (size_t L = 0; L != CS.BoolGlobal.size(); ++L)
+        BoolOut[CS.BoolGlobal[L]] = CR.BoolDom[L];
+    }
+  }
+
+  // Reconstruction: map the representatives' solved domains back over
+  // the original variable space.
+  R.StateDom.resize(Sys.numStateVars());
+  for (size_t V = 0; V != R.StateDom.size(); ++V)
+    R.StateDom[V] = RepDom[Simp.StateRep[V]];
+  for (uint8_t &B : BoolOut)
+    if (B == BAny)
+      B = BFalse;
+  R.BoolDom = std::move(BoolOut);
+  R.Sat = true;
+  R.Simplify.ReconstructSeconds = Phase.seconds();
   R.Seconds = Watch.seconds();
   return R;
 }

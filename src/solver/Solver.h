@@ -17,25 +17,52 @@
 /// Remaining undetermined booleans default to false (no operation). The
 /// conservative completion is a witness that the system is satisfiable.
 ///
+/// By default the system is *preprocessed* first (src/solver/Simplify.h):
+/// equalities are collapsed by union-find, forced triples eliminated,
+/// duplicates dropped, and the residual graph is decomposed into
+/// connected components solved independently — in parallel above a size
+/// threshold. The solution is then mapped back to the original variable
+/// space, so callers observe the same domains the raw solver produces
+/// (docs/SOLVER.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AFL_SOLVER_SOLVER_H
 #define AFL_SOLVER_SOLVER_H
 
 #include "constraints/ConstraintSystem.h"
+#include "solver/Simplify.h"
 
 namespace afl {
 namespace solver {
 
+/// Knobs for the preprocessing layer; the defaults are what production
+/// callers want, the ablation switches back them out (`aflc
+/// --no-simplify`, `--solver-jobs N`).
+struct SolveOptions {
+  /// Run the simplification + component decomposition before solving.
+  bool Simplify = true;
+  /// Worker threads for the per-component solve; 0 = all hardware
+  /// threads, 1 = solve components sequentially.
+  unsigned Jobs = 0;
+  /// Only solve components in parallel when the residual system has at
+  /// least this many constraints (thread startup costs more than small
+  /// solves).
+  size_t ParallelMinConstraints = 2048;
+};
+
 struct SolveResult {
   bool Sat = false;
-  /// Final domains (singletons for booleans when Sat).
+  /// Final domains (singletons for booleans when Sat), indexed by the
+  /// *original* variable ids regardless of preprocessing.
   std::vector<uint8_t> StateDom;
   std::vector<uint8_t> BoolDom;
   /// Statistics.
   uint64_t Propagations = 0;
   uint64_t Choices = 0;
   uint64_t Backtracks = 0;
+  /// Preprocessing statistics (zeros when simplification is off).
+  SimplifyStats Simplify;
   /// Wall-clock time spent inside solve(), in seconds.
   double Seconds = 0;
 
@@ -45,7 +72,8 @@ struct SolveResult {
 };
 
 /// Solves \p Sys. The input system is not modified.
-SolveResult solve(const constraints::ConstraintSystem &Sys);
+SolveResult solve(const constraints::ConstraintSystem &Sys,
+                  const SolveOptions &Options = SolveOptions());
 
 } // namespace solver
 } // namespace afl

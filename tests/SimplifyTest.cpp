@@ -1,0 +1,257 @@
+// Unit tests for the solver preprocessing layer: union-find collapse of
+// Eq constraints, forced-boolean elimination, triple deduplication,
+// early conflict detection, and the connected-component decomposition.
+
+#include "constraints/ConstraintSystem.h"
+#include "solver/Components.h"
+#include "solver/Simplify.h"
+#include "solver/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+using namespace afl::constraints;
+using namespace afl::solver;
+
+namespace {
+
+TEST(Simplify, UnionFindCollapsesEqChains) {
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState(StA);
+  StateVarId S2 = Sys.newState();
+  StateVarId S3 = Sys.newState();
+  Sys.addEq(S1, S2);
+  Sys.addEq(S2, S3);
+  SimplifiedSystem Simp = simplify(Sys);
+  ASSERT_FALSE(Simp.Conflict);
+  EXPECT_EQ(Simp.Stats.EqRemoved, 2u);
+  EXPECT_EQ(Simp.Stats.StateVarsBefore, 3u);
+  EXPECT_EQ(Simp.Stats.StateVarsAfter, 1u);
+  EXPECT_EQ(Simp.Residual.numConstraints(), 0u);
+  // All three map to the same representative, whose domain is the
+  // intersection of the member domains.
+  EXPECT_EQ(Simp.StateRep[S1], Simp.StateRep[S2]);
+  EXPECT_EQ(Simp.StateRep[S2], Simp.StateRep[S3]);
+  EXPECT_EQ(Simp.Residual.StateDom[Simp.StateRep[S1]], StA);
+}
+
+TEST(Simplify, EqRemovedToZeroAlways) {
+  // The headline invariant: no Eq constraint survives simplification.
+  ConstraintSystem Sys;
+  StateVarId Prev = Sys.newState(StU);
+  for (int I = 0; I != 50; ++I) {
+    StateVarId Next = Sys.newState();
+    if (I % 2) {
+      Sys.addEq(Prev, Next);
+    } else {
+      BoolVarId B = Sys.newBool();
+      Sys.addAllocTriple(Prev, B, Next);
+    }
+    Prev = Next;
+  }
+  SimplifiedSystem Simp = simplify(Sys);
+  ASSERT_FALSE(Simp.Conflict);
+  EXPECT_EQ(Simp.Residual.numConstraintsOfKind(Constraint::Kind::Eq), 0u);
+  EXPECT_EQ(Simp.Stats.EqRemoved, 25u);
+}
+
+TEST(Simplify, EqConflictDetectedEarly) {
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState(StA);
+  StateVarId S2 = Sys.newState(StD);
+  Sys.addEq(S1, S2);
+  SimplifiedSystem Simp = simplify(Sys);
+  EXPECT_TRUE(Simp.Conflict);
+  SolveResult R = solve(Sys);
+  EXPECT_FALSE(R.Sat);
+}
+
+TEST(Simplify, EmptyInitialDomainIsConflict) {
+  // Regression: restrictState can zero a domain on a variable that
+  // occurs in no constraint; the solver must notice.
+  ConstraintSystem Sys;
+  StateVarId S = Sys.newState();
+  Sys.restrictState(S, StA);
+  Sys.restrictState(S, StD); // A & D = empty
+  SimplifiedSystem Simp = simplify(Sys);
+  EXPECT_TRUE(Simp.Conflict);
+}
+
+TEST(Simplify, DedupIdenticalTriples) {
+  // Two contexts generating the same triple over Eq-linked states
+  // collapse to one residual triple.
+  ConstraintSystem Sys;
+  StateVarId A1 = Sys.newState();
+  StateVarId A2 = Sys.newState();
+  StateVarId B1 = Sys.newState();
+  StateVarId B2 = Sys.newState();
+  BoolVarId B = Sys.newBool();
+  Sys.addEq(A1, A2);
+  Sys.addEq(B1, B2);
+  Sys.addAllocTriple(A1, B, B1);
+  Sys.addAllocTriple(A2, B, B2);
+  SimplifiedSystem Simp = simplify(Sys);
+  ASSERT_FALSE(Simp.Conflict);
+  EXPECT_EQ(Simp.Stats.DupTriplesRemoved, 1u);
+  EXPECT_EQ(Simp.Residual.numConstraints(), 1u);
+}
+
+TEST(Simplify, ForcedTrueTripleEliminated) {
+  // Disjoint endpoint domains force the boolean true; the triple is
+  // applied (domains restricted to the transition states) and dropped.
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState(StU);
+  StateVarId S2 = Sys.newState(StA);
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(S1, B, S2);
+  SimplifiedSystem Simp = simplify(Sys);
+  ASSERT_FALSE(Simp.Conflict);
+  EXPECT_EQ(Simp.Stats.BoolsForced, 1u);
+  EXPECT_EQ(Simp.Stats.ForcedTriplesRemoved, 1u);
+  EXPECT_EQ(Simp.Residual.numConstraints(), 0u);
+  EXPECT_EQ(Simp.Residual.BoolDom[B], BTrue);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_TRUE(R.boolValue(B));
+}
+
+TEST(Simplify, SameRepresentativeTripleForcesFalse) {
+  // An allocation triple whose endpoints are Eq-linked cannot fire (the
+  // U->A transition cannot happen on one variable).
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState();
+  StateVarId S2 = Sys.newState();
+  BoolVarId B = Sys.newBool();
+  Sys.addEq(S1, S2);
+  Sys.addAllocTriple(S1, B, S2);
+  SimplifiedSystem Simp = simplify(Sys);
+  ASSERT_FALSE(Simp.Conflict);
+  EXPECT_EQ(Simp.Residual.BoolDom[B], BFalse);
+  EXPECT_EQ(Simp.Residual.numConstraints(), 0u);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_FALSE(R.boolValue(B));
+}
+
+TEST(Simplify, ForcedFalseCascadesIntoUnion) {
+  // A pre-state that can never be U forces the alloc boolean false,
+  // which turns the triple into an equality — merging the endpoints and
+  // intersecting their domains.
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState(StA);
+  StateVarId S2 = Sys.newState(static_cast<uint8_t>(StA | StD));
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(S1, B, S2);
+  SimplifiedSystem Simp = simplify(Sys);
+  ASSERT_FALSE(Simp.Conflict);
+  EXPECT_EQ(Simp.StateRep[S1], Simp.StateRep[S2]);
+  EXPECT_EQ(Simp.Residual.StateDom[Simp.StateRep[S1]], StA);
+  EXPECT_EQ(Simp.Residual.BoolDom[B], BFalse);
+}
+
+TEST(Components, IndependentChainsSplit) {
+  // Two disjoint alloc chains land in two components; a shared boolean
+  // would merge them.
+  ConstraintSystem Sys;
+  StateVarId A1 = Sys.newState(StU);
+  StateVarId A2 = Sys.newState(StAny);
+  BoolVarId BA = Sys.newBool();
+  Sys.addAllocTriple(A1, BA, A2);
+  StateVarId B1 = Sys.newState(StA);
+  StateVarId B2 = Sys.newState(StAny);
+  BoolVarId BB = Sys.newBool();
+  Sys.addDeallocTriple(B1, BB, B2);
+  ComponentSplit Split = splitComponents(Sys);
+  ASSERT_EQ(Split.Comps.size(), 2u);
+  EXPECT_EQ(Split.Comps[0].Sys.numConstraints(), 1u);
+  EXPECT_EQ(Split.Comps[1].Sys.numConstraints(), 1u);
+  EXPECT_EQ(Split.LargestConstraints, 1u);
+}
+
+TEST(Components, SharedBooleanMergesComponents) {
+  ConstraintSystem Sys;
+  StateVarId A1 = Sys.newState();
+  StateVarId A2 = Sys.newState();
+  StateVarId B1 = Sys.newState();
+  StateVarId B2 = Sys.newState();
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(A1, B, A2);
+  Sys.addAllocTriple(B1, B, B2);
+  ComponentSplit Split = splitComponents(Sys);
+  EXPECT_EQ(Split.Comps.size(), 1u);
+}
+
+TEST(Components, UnconstrainedVariablesBelongToNoComponent) {
+  ConstraintSystem Sys;
+  Sys.newState(StA); // never mentioned by a constraint
+  StateVarId S1 = Sys.newState();
+  StateVarId S2 = Sys.newState();
+  BoolVarId B = Sys.newBool();
+  Sys.newBool(); // unconstrained boolean
+  Sys.addAllocTriple(S1, B, S2);
+  ComponentSplit Split = splitComponents(Sys);
+  ASSERT_EQ(Split.Comps.size(), 1u);
+  EXPECT_EQ(Split.Comps[0].StateGlobal.size(), 2u);
+  EXPECT_EQ(Split.Comps[0].BoolGlobal.size(), 1u);
+}
+
+TEST(Components, SingleComponentFallback) {
+  // A single-component system solved with aggressive parallel options
+  // produces the same answer as the default path.
+  ConstraintSystem Sys;
+  StateVarId Prev = Sys.newState(StU);
+  std::vector<BoolVarId> Bs;
+  for (int I = 0; I != 20; ++I) {
+    StateVarId Next = Sys.newState();
+    BoolVarId B = Sys.newBool();
+    Sys.addAllocTriple(Prev, B, Next);
+    Bs.push_back(B);
+    Prev = Next;
+  }
+  Sys.restrictState(Prev, StA);
+  SolveOptions Par;
+  Par.Jobs = 8;
+  Par.ParallelMinConstraints = 0;
+  SolveResult RPar = solve(Sys, Par);
+  SolveResult RDef = solve(Sys);
+  ASSERT_TRUE(RPar.Sat);
+  EXPECT_EQ(RPar.Simplify.Components, 1u);
+  EXPECT_EQ(RPar.StateDom, RDef.StateDom);
+  EXPECT_EQ(RPar.BoolDom, RDef.BoolDom);
+  // Exactly one (late) allocation either way.
+  EXPECT_TRUE(RPar.BoolDom[Bs.back()] == BTrue);
+}
+
+TEST(Components, ParallelMultiComponentMatchesSequential) {
+  // Many independent chains: force the parallel path and compare
+  // against both the sequential-simplified and the raw solve.
+  ConstraintSystem Sys;
+  for (int Chain = 0; Chain != 16; ++Chain) {
+    StateVarId Prev = Sys.newState(StU);
+    for (int I = 0; I != 10; ++I) {
+      StateVarId Next = Sys.newState();
+      BoolVarId B = Sys.newBool();
+      Sys.addAllocTriple(Prev, B, Next);
+      Prev = Next;
+    }
+    Sys.restrictState(Prev, StA);
+  }
+  SolveOptions Par;
+  Par.Jobs = 4;
+  Par.ParallelMinConstraints = 0;
+  SolveOptions Raw;
+  Raw.Simplify = false;
+  SolveResult RPar = solve(Sys, Par);
+  SolveResult RSeq = solve(Sys);
+  SolveResult RRaw = solve(Sys, Raw);
+  ASSERT_TRUE(RPar.Sat);
+  ASSERT_TRUE(RRaw.Sat);
+  EXPECT_EQ(RPar.Simplify.Components, 16u);
+  EXPECT_GT(RPar.Simplify.ThreadsUsed, 1u);
+  EXPECT_EQ(RPar.StateDom, RSeq.StateDom);
+  EXPECT_EQ(RPar.BoolDom, RSeq.BoolDom);
+  EXPECT_EQ(RPar.StateDom, RRaw.StateDom);
+  EXPECT_EQ(RPar.BoolDom, RRaw.BoolDom);
+}
+
+} // namespace

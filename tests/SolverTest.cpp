@@ -169,6 +169,40 @@ TEST(Solver, AllBooleansAssignedWhenSat) {
   EXPECT_FALSE(R.boolValue(B));
 }
 
+TEST(Solver, EmptyInitialDomainUnsat) {
+  // Regression: restrictState can zero the domain of a variable that
+  // occurs in no constraint. Propagation never visits it, so the solver
+  // must scan initial domains for emptiness instead of reporting Sat.
+  ConstraintSystem Sys;
+  StateVarId Dangling = Sys.newState();
+  Sys.restrictState(Dangling, StA);
+  Sys.restrictState(Dangling, StD); // A & D = empty
+  // An unrelated, satisfiable constraint so the system is non-trivial.
+  StateVarId S1 = Sys.newState(StU);
+  StateVarId S2 = Sys.newState();
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(S1, B, S2);
+  SolveResult Simplified = solve(Sys);
+  EXPECT_FALSE(Simplified.Sat);
+  SolveOptions Raw;
+  Raw.Simplify = false;
+  SolveResult RawResult = solve(Sys, Raw);
+  EXPECT_FALSE(RawResult.Sat);
+}
+
+TEST(Solver, EmptyDomainOnConstrainedVarUnsat) {
+  ConstraintSystem Sys;
+  StateVarId S1 = Sys.newState();
+  StateVarId S2 = Sys.newState();
+  Sys.addEq(S1, S2);
+  Sys.restrictState(S1, 0);
+  for (bool Simplify : {false, true}) {
+    SolveOptions Options;
+    Options.Simplify = Simplify;
+    EXPECT_FALSE(solve(Sys, Options).Sat);
+  }
+}
+
 TEST(Solver, LongChainScales) {
   // A long U ... A chain: exactly one allocation is chosen, at the end.
   ConstraintSystem Sys;

@@ -17,6 +17,10 @@
 ///   --no-freeapp         ablation: disable free_app choice points
 ///   --lexical-alloc      ablation: allocation only at letregion entry
 ///   --lexical-free       ablation: deallocation only at letregion exit
+///   --no-simplify        ablation: solve the raw constraint system
+///                        (skip union-find collapse + component split)
+///   --solver-jobs N      worker threads for the per-component solve
+///                        (0 = all cores, 1 = sequential)
 ///   --no-run             analysis only (skip the instrumented runs)
 ///   --timings            print the per-stage wall-time table
 ///   --metrics[=FILE]     emit per-stage metrics as JSON (stdout or FILE)
@@ -57,6 +61,8 @@ void usage() {
       "  --trace=FILE        write CSV traces\n"
       "  --validate          run structural validators\n"
       "  --no-freeapp --lexical-alloc --lexical-free   ablations\n"
+      "  --no-simplify       solve the raw constraint system\n"
+      "  --solver-jobs N     threads for the per-component solve\n"
       "  --dump-constraints  print the generated constraint system\n"
       "  --no-run            skip instrumented runs\n"
       "  --timings           per-stage wall-time table\n"
@@ -196,6 +202,7 @@ int main(int Argc, char **Argv) {
   unsigned Threads = 0;
   std::string Source;
   constraints::GenOptions Gen;
+  solver::SolveOptions Solve;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -239,6 +246,14 @@ int main(int Argc, char **Argv) {
     } else if (Arg.rfind("-j", 0) == 0 && Arg.size() > 2 &&
                isdigit(static_cast<unsigned char>(Arg[2]))) {
       Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 2));
+    } else if (Arg == "--no-simplify") {
+      Solve.Simplify = false;
+    } else if (Arg == "--solver-jobs") {
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      Solve.Jobs = static_cast<unsigned>(std::atoi(Argv[I]));
     } else if (Arg == "--no-freeapp") {
       Gen.FreeApp = false;
     } else if (Arg == "--lexical-alloc") {
@@ -274,6 +289,7 @@ int main(int Argc, char **Argv) {
   Options.SkipRuns = NoRun;
   Options.RecordTrace = !TraceFile.empty();
   Options.GenOptions = Gen;
+  Options.SolveOptions = Solve;
 
   if (!BatchDir.empty())
     return runBatchMode(BatchDir, Options, Threads, Timings, Metrics,

@@ -137,6 +137,42 @@ void BM_ClosureAnalysis_NestedHOF(benchmark::State &State) {
 }
 BENCHMARK(BM_ClosureAnalysis_NestedHOF)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
+/// Closure-analysis stage time alone (the §3 fixpoint), over the same
+/// chainProgram(K) series used for the solve benchmarks, extended to the
+/// K=48 point of BENCH_solver.json. Tracked in BENCH_analysis.json.
+void BM_Closure(benchmark::State &State) {
+  std::string Src = chainProgram(static_cast<int>(State.range(0)));
+  auto F = frontend(Src);
+  auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+  size_t Contexts = 0;
+  for (auto _ : State) {
+    closure::ClosureAnalysis CA(*Prog);
+    benchmark::DoNotOptimize(CA.run());
+    Contexts = CA.numContexts();
+  }
+  State.counters["contexts"] = static_cast<double>(Contexts);
+}
+BENCHMARK(BM_Closure)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+
+/// Constraint-generation stage time alone (no solve): consumes a
+/// converged closure analysis, so this isolates the §4.2 table-driven
+/// system construction. Tracked in BENCH_analysis.json.
+void BM_ConstraintGen(benchmark::State &State) {
+  std::string Src = chainProgram(static_cast<int>(State.range(0)));
+  auto F = frontend(Src);
+  auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+  closure::ClosureAnalysis CA(*Prog);
+  CA.run();
+  size_t NumConstraints = 0;
+  for (auto _ : State) {
+    constraints::GenResult Gen = constraints::generateConstraints(*Prog, CA);
+    benchmark::DoNotOptimize(Gen.NumContexts);
+    NumConstraints = Gen.Sys.numConstraints();
+  }
+  State.counters["constraints"] = static_cast<double>(NumConstraints);
+}
+BENCHMARK(BM_ConstraintGen)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+
 void BM_ConstraintGenAndSolve(benchmark::State &State) {
   std::string Src = chainProgram(static_cast<int>(State.range(0)));
   auto F = frontend(Src);

@@ -48,12 +48,13 @@ int main() {
   section("§3  Extended closure analysis");
   {
     closure::ClosureAnalysis CA(*Ex.Prog);
-    unsigned Passes = CA.run();
+    CA.run();
     std::printf("The analysis computes, per (expression, abstract region\n"
                 "environment) pair, the closures the expression may become.\n"
                 "Here: %zu abstract closures over %zu contexts, stable "
-                "after %u pass(es).\n",
-                CA.numClosures(), CA.numContexts(), Passes);
+                "after %zu worklist step(s).\n",
+                CA.numClosures(), CA.numContexts(),
+                CA.stats().ProcessedContexts);
     constraints::GenResult Gen =
         constraints::generateConstraints(*Ex.Prog, CA);
     section("§4  The constraint system");

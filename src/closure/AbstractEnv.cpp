@@ -6,18 +6,32 @@ using namespace afl;
 using namespace afl::closure;
 using regions::RegionVarId;
 
+namespace {
+
+uint64_t hashEnv(const RegEnvMap &Map) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const auto &[Var, C] : Map) {
+    H ^= (static_cast<uint64_t>(Var) << 32) | C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+} // namespace
+
 RegEnvId RegEnvTable::intern(RegEnvMap Map) {
   assert(std::is_sorted(Map.begin(), Map.end(),
                         [](const auto &A, const auto &B) {
                           return A.first < B.first;
                         }) &&
          "abstract region environments must be sorted");
-  auto It = Index.find(Map);
-  if (It != Index.end())
-    return It->second;
+  std::vector<RegEnvId> &Bucket = Index[hashEnv(Map)];
+  for (RegEnvId Id : Bucket)
+    if (Envs[Id] == Map)
+      return Id;
   RegEnvId Id = static_cast<RegEnvId>(Envs.size());
-  Envs.push_back(Map);
-  Index.emplace(std::move(Map), Id);
+  Envs.push_back(std::move(Map));
+  Bucket.push_back(Id);
   return Id;
 }
 
@@ -39,10 +53,11 @@ bool RegEnvTable::maps(RegEnvId Id, RegionVarId Var) const {
   return It != E.end() && It->first == Var;
 }
 
-std::set<Color>
+FlatSet<Color>
 RegEnvTable::colorsOf(RegEnvId Id,
                       const std::set<RegionVarId> &Vars) const {
-  std::set<Color> Out;
+  FlatSet<Color> Out;
+  Out.reserve(Vars.size());
   for (RegionVarId V : Vars)
     Out.insert(colorOf(Id, V));
   return Out;
@@ -51,6 +66,7 @@ RegEnvTable::colorsOf(RegEnvId Id,
 RegEnvId RegEnvTable::restrict(RegEnvId Id,
                                const std::set<RegionVarId> &Keep) {
   RegEnvMap Out;
+  Out.reserve(Keep.size());
   for (const auto &[Var, C] : Envs[Id])
     if (Keep.count(Var))
       Out.push_back({Var, C});
@@ -61,11 +77,14 @@ RegEnvId RegEnvTable::restrict(RegEnvId Id,
 
 RegEnvId RegEnvTable::extendFresh(RegEnvId Id, RegionVarId Var) {
   const RegEnvMap &E = Envs[Id];
-  std::set<Color> Used;
+  // The minimal free color is at most |E|: mark the used colors below
+  // that bound and scan — no ordered set needed.
+  std::vector<bool> Used(E.size() + 1, false);
   for (const auto &[V, C] : E)
-    Used.insert(C);
+    if (C < Used.size())
+      Used[C] = true;
   Color Fresh = 0;
-  while (Used.count(Fresh))
+  while (Used[Fresh])
     ++Fresh;
   return extend(Id, Var, Fresh);
 }

@@ -13,10 +13,12 @@
 #define AFL_CLOSURE_ABSTRACTENV_H
 
 #include "regions/RegionTypes.h"
+#include "support/FlatSet.h"
 
 #include <cassert>
-#include <map>
+#include <cstdint>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 namespace afl {
@@ -34,7 +36,9 @@ using RegEnvId = uint32_t;
 /// One abstract region environment: sorted (region variable → color).
 using RegEnvMap = std::vector<std::pair<regions::RegionVarId, Color>>;
 
-/// Interner for abstract region environments.
+/// Interner for abstract region environments. Content-hashed: interning
+/// an environment that already exists is a hash lookup, not an ordered
+/// tree walk.
 class RegEnvTable {
 public:
   /// Interns \p Map (must be sorted by region variable, no duplicates).
@@ -49,9 +53,10 @@ public:
   /// True if \p Var is mapped by \p Id.
   bool maps(RegEnvId Id, regions::RegionVarId Var) const;
 
-  /// Maps a set of region variables to the corresponding set of colors.
-  std::set<Color> colorsOf(RegEnvId Id,
-                           const std::set<regions::RegionVarId> &Vars) const;
+  /// Maps a set of region variables to the corresponding set of colors
+  /// (ascending color order).
+  FlatSet<Color> colorsOf(RegEnvId Id,
+                          const std::set<regions::RegionVarId> &Vars) const;
 
   /// Restricts \p Id to the variables in \p Keep (all must be mapped).
   RegEnvId restrict(RegEnvId Id, const std::set<regions::RegionVarId> &Keep);
@@ -66,7 +71,8 @@ public:
 
 private:
   std::vector<RegEnvMap> Envs;
-  std::map<RegEnvMap, RegEnvId> Index;
+  /// Content hash → ids with that hash (usually one).
+  std::unordered_map<uint64_t, std::vector<RegEnvId>> Index;
 };
 
 } // namespace closure

@@ -11,6 +11,15 @@
 /// to colors, and a region-polymorphic function called with aliased
 /// actuals yields an environment mapping two formals to one color.
 ///
+/// The analysis state is dense and ID-indexed (docs/ANALYSIS_CORE.md):
+/// every discovered (node, environment) context gets a dense CtxId, value
+/// sets are hash-consed FlatSets referenced by SetId, and the fixpoint is
+/// a dependency-tracked worklist — when a context's value set grows, only
+/// its recorded dependents are re-evaluated. The seed's whole-program
+/// restart fixpoint is retained as a reference mode
+/// (ClosureOptions::UseWorklist = false); tests/ClosureDifferentialTest
+/// proves both modes produce byte-identical downstream systems.
+///
 /// Deviations from the paper (documented in DESIGN.md):
 ///  * Variable value sets are keyed by (unique) binder rather than by
 ///    (binder, restricted environment). This merges calling contexts — a
@@ -25,8 +34,11 @@
 
 #include "closure/AbstractEnv.h"
 #include "regions/RegionProgram.h"
+#include "support/FlatSet.h"
+#include "support/SetInterner.h"
 
-#include <map>
+#include <string>
+#include <unordered_map>
 
 namespace afl {
 namespace closure {
@@ -42,14 +54,55 @@ struct AbsClosure {
   RegEnvId Env = 0;
 };
 
+/// Fixpoint configuration.
+struct ClosureOptions {
+  /// Dependency-tracked worklist (production) vs. the whole-program
+  /// restart fixpoint (reference mode; the seed algorithm).
+  bool UseWorklist = true;
+  /// Restart mode: maximum stabilization passes before the analysis
+  /// reports failure instead of spinning.
+  unsigned MaxPasses = 1000;
+  /// Worklist mode: maximum contexts processed before reporting failure.
+  /// 0 derives the cap as MaxPasses * number of IR nodes.
+  size_t MaxSteps = 0;
+};
+
+/// Work counters for the fixpoint, reported through AflStats →
+/// PipelineStats → `aflc --metrics` (docs/OBSERVABILITY.md).
+struct ClosureStats {
+  bool Converged = false;
+  bool UsedWorklist = true;
+  /// Restart mode: stabilization passes. Worklist mode: 1 on convergence
+  /// (a single change-driven propagation).
+  unsigned Passes = 0;
+  /// Contexts evaluated (worklist pops; restart: context evaluations
+  /// summed over all passes).
+  size_t ProcessedContexts = 0;
+  /// Worklist insertions (0 in restart mode).
+  size_t Enqueued = 0;
+  size_t NumContexts = 0;
+  size_t NumClosures = 0;
+  size_t NumEnvs = 0;
+  /// Distinct hash-consed value sets (including the empty set).
+  size_t InternedSets = 0;
+};
+
 /// Runs the analysis over a finalized region program and exposes the
 /// results to constraint generation.
 class ClosureAnalysis {
 public:
-  explicit ClosureAnalysis(const regions::RegionProgram &Prog);
+  explicit ClosureAnalysis(const regions::RegionProgram &Prog,
+                           ClosureOptions Options = ClosureOptions());
 
-  /// Iterates to a fixpoint. Returns the number of passes taken.
-  unsigned run();
+  /// Iterates to a fixpoint. Returns true on convergence; false when the
+  /// stabilization cap was hit (error() explains, results must not be
+  /// used — they are an unsound snapshot).
+  bool run();
+
+  bool converged() const { return Stats.Converged; }
+  /// Non-empty iff run() returned false.
+  const std::string &error() const { return Error; }
+  const ClosureStats &stats() const { return Stats; }
 
   RegEnvTable &envs() { return Envs; }
   const RegEnvTable &envs() const { return Envs; }
@@ -60,18 +113,29 @@ public:
 
   /// The context environment for evaluating \p N when reached under
   /// \p Incoming: \p Incoming extended with N's letregion bindings (each
-  /// given the minimal free color).
+  /// given the minimal free color). Memoized per (node, incoming).
   RegEnvId contextEnv(const regions::RExpr *N, RegEnvId Incoming);
 
   const AbsClosure &closure(AbsClosureId Id) const { return Closures[Id]; }
 
-  /// All context environments under which \p N was analyzed.
-  const std::set<RegEnvId> &contextsOf(regions::RNodeId N) const;
+  /// All context environments under which \p N was analyzed (ascending
+  /// RegEnvId order).
+  const FlatSet<RegEnvId> &contextsOf(regions::RNodeId N) const {
+    return NodeEnvs[N];
+  }
 
-  /// Abstract value of \p N under context environment \p Env (must be a
-  /// registered context).
-  const std::set<AbsClosureId> &valuesOf(regions::RNodeId N,
-                                         RegEnvId Env) const;
+  /// Abstract value of \p N under context environment \p Env: ascending
+  /// AbsClosureId order, empty for unregistered contexts (a genuinely
+  /// empty interned set — no static escape hatch).
+  const FlatSet<AbsClosureId> &valuesOf(regions::RNodeId N,
+                                        RegEnvId Env) const;
+
+  /// Dense index of the registered context (N, Env), or NoCtx. Contexts
+  /// are numbered 0..numCtxIds()-1 in discovery order; constraint
+  /// generation uses them to key its per-context tables without maps.
+  static constexpr uint32_t NoCtx = ~0u;
+  uint32_t ctxIndex(regions::RNodeId N, RegEnvId Env) const;
+  uint32_t numCtxIds() const { return static_cast<uint32_t>(Ctxs.size()); }
 
   /// For a closure: its body node and the parameter variable.
   const regions::RExpr *bodyOf(const AbsClosure &C) const;
@@ -81,37 +145,91 @@ public:
   /// closure's own frame: formal names for letrec closures).
   std::set<regions::RegionVarId> latentOf(const AbsClosure &C) const;
 
-  size_t numContexts() const;
+  size_t numContexts() const { return Ctxs.size(); }
   size_t numClosures() const { return Closures.size(); }
 
 private:
-  using Key = std::pair<regions::RNodeId, RegEnvId>;
+  using SetId = SetInterner<AbsClosureId>::SetId;
+  static constexpr SetId EmptySet = SetInterner<AbsClosureId>::Empty;
 
   AbsClosureId internClosure(const regions::RExpr *Fun, RegEnvId Env);
+  /// The closure a Lambda / RegApp node denotes under context env \p Env
+  /// (memoized: the mapping is immutable).
+  AbsClosureId closureAt(const regions::RExpr *N, RegEnvId Env);
 
-  /// Analyzes \p N under incoming env \p R (pre-letregion); returns the
-  /// abstract value set (by value: the underlying map may rehash).
-  std::set<AbsClosureId> analyze(const regions::RExpr *N, RegEnvId R);
+  /// Registers context (N, contextEnv(N, Incoming)); returns its CtxId.
+  /// New contexts enter the worklist (worklist mode) or set Changed
+  /// (restart mode).
+  uint32_t ensureCtx(const regions::RExpr *N, RegEnvId Incoming);
 
-  /// Unions \p Values into the set at \p K; sets Changed on growth.
-  void addTo(std::map<Key, std::set<AbsClosureId>> &M, Key K,
-             const std::set<AbsClosureId> &Values);
+  /// Worklist fixpoint: evaluates one context against the current tables,
+  /// recording dependency edges as it reads.
+  void process(uint32_t C);
+  bool runWorklist();
+
+  /// Reference restart fixpoint (the seed algorithm, on dense tables).
+  SetId analyzeRec(const regions::RExpr *N, RegEnvId Incoming);
+  bool runRestart();
+
+  /// Renumbers closures into content order — (function node id,
+  /// lexicographic environment) — and remaps every value set, so the
+  /// results (and everything generated from them) are independent of
+  /// fixpoint evaluation order.
+  void canonicalize();
+
+  void enqueue(uint32_t C);
+  void writeVar(regions::VarId V, SetId S);
+  void writePool(SetId S);
+  SetId remapSet(SetId S, const std::vector<AbsClosureId> &Perm,
+                 std::unordered_map<SetId, SetId> &Memo);
+
+  struct CtxInfo {
+    const regions::RExpr *N = nullptr;
+    RegEnvId Env = 0;
+    SetId Val = EmptySet;
+  };
 
   const regions::RegionProgram &Prog;
+  ClosureOptions Options;
   RegEnvTable Envs;
   RegEnvId RootEnv = 0;
 
   std::vector<AbsClosure> Closures;
-  std::map<std::pair<const regions::RExpr *, RegEnvId>, AbsClosureId>
-      ClosureIndex;
+  /// (function node id << 32 | env id) → closure id. Exact packed key.
+  std::unordered_map<uint64_t, AbsClosureId> ClosureIndex;
 
-  std::map<Key, std::set<AbsClosureId>> Values;
-  std::map<regions::VarId, std::set<AbsClosureId>> VarSets;
-  std::map<regions::RNodeId, std::set<RegEnvId>> Contexts;
-  std::set<AbsClosureId> EscapePool;
+  SetInterner<AbsClosureId> ValueSets;
 
-  std::set<Key> InProgress; // per-pass cycle guard
+  std::vector<CtxInfo> Ctxs; // indexed by CtxId
+  /// Per node: registered context envs (sorted) and the parallel CtxIds.
+  std::vector<FlatSet<RegEnvId>> NodeEnvs;
+  std::vector<std::vector<uint32_t>> NodeCtxIds;
+
+  std::vector<SetId> VarSets; // indexed by VarId
+  SetId EscapePool = EmptySet;
+
+  /// Reverse dependency edges: contexts to re-evaluate when the source
+  /// grows.
+  std::vector<FlatSet<uint32_t>> CtxDeps; // per CtxId
+  std::vector<FlatSet<uint32_t>> VarDeps; // per VarId
+  FlatSet<uint32_t> PoolDeps;
+
+  std::vector<uint32_t> Queue;
+  size_t QHead = 0;
+  std::vector<uint8_t> InQueue;
+
+  /// Memoized (incoming env → context env) per node with letregion
+  /// bindings; identity for all other nodes.
+  std::vector<std::vector<std::pair<RegEnvId, RegEnvId>>> CtxEnvCache;
+  /// Memoized (context env → closure) per Lambda/RegApp node.
+  std::vector<std::vector<std::pair<RegEnvId, AbsClosureId>>> ClosCache;
+
+  /// Restart mode: per-pass cycle guard.
+  std::vector<uint8_t> InProgress;
   bool Changed = false;
+
+  ClosureStats Stats;
+  std::string Error;
 };
 
 } // namespace closure

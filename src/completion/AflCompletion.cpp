@@ -15,11 +15,25 @@ using namespace afl::regions;
 Completion completion::aflCompletion(const RegionProgram &Prog,
                                      AflStats *Stats,
                                      const constraints::GenOptions &Options,
-                                     const solver::SolveOptions &Solve) {
+                                     const solver::SolveOptions &Solve,
+                                     const closure::ClosureOptions &ClosureOpts) {
   Stopwatch Watch;
-  closure::ClosureAnalysis CA(Prog);
-  unsigned Passes = CA.run();
+  closure::ClosureAnalysis CA(Prog, ClosureOpts);
+  bool Converged = CA.run();
   double ClosureSeconds = Watch.seconds();
+
+  if (!Converged) {
+    // The fixpoint hit its stabilization cap: the analysis tables are an
+    // unsound snapshot, so fall back to the conservative completion.
+    if (Stats) {
+      Stats->ClosureSeconds = ClosureSeconds;
+      Stats->Closure = CA.stats();
+      Stats->ClosurePasses = CA.stats().Passes;
+      Stats->NumClosures = CA.numClosures();
+      Stats->Solved = false;
+    }
+    return conservativeCompletion(Prog);
+  }
 
   Watch.reset();
   constraints::GenResult Gen =
@@ -32,7 +46,8 @@ Completion completion::aflCompletion(const RegionProgram &Prog,
     Stats->ClosureSeconds = ClosureSeconds;
     Stats->ConstraintGenSeconds = GenSeconds;
     Stats->SolveSeconds = Sol.Seconds;
-    Stats->ClosurePasses = Passes;
+    Stats->Closure = CA.stats();
+    Stats->ClosurePasses = CA.stats().Passes;
     Stats->NumContexts = Gen.NumContexts;
     Stats->NumClosures = CA.numClosures();
     Stats->NumStateVars = Gen.Sys.numStateVars();

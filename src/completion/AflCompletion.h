@@ -10,6 +10,7 @@
 #ifndef AFL_COMPLETION_AFLCOMPLETION_H
 #define AFL_COMPLETION_AFLCOMPLETION_H
 
+#include "closure/ClosureAnalysis.h"
 #include "constraints/ConstraintGen.h"
 #include "regions/Completion.h"
 #include "regions/RegionProgram.h"
@@ -24,6 +25,8 @@ namespace completion {
 /// Analysis telemetry for benchmarking and the paper's complexity claims.
 struct AflStats {
   unsigned ClosurePasses = 0;
+  /// Full fixpoint telemetry (mode, work counters, table sizes).
+  closure::ClosureStats Closure;
   size_t NumContexts = 0;
   size_t NumClosures = 0;
   size_t NumStateVars = 0;
@@ -47,15 +50,20 @@ struct AflStats {
   bool Solved = false;
 };
 
-/// Computes the A-F-L completion for \p Prog. On solver failure returns
-/// the conservative completion (and reports Solved = false). \p Options
-/// selects ablated variants (see constraints::GenOptions); \p Solve
-/// configures the solver's preprocessing layer (see solver::SolveOptions).
+/// Computes the A-F-L completion for \p Prog. On solver failure — or if
+/// the closure analysis fails to stabilize within its configured caps —
+/// returns the conservative completion (and reports Solved = false).
+/// \p Options selects ablated variants (see constraints::GenOptions);
+/// \p Solve configures the solver's preprocessing layer (see
+/// solver::SolveOptions); \p ClosureOpts selects the closure fixpoint
+/// mode and caps (see closure::ClosureOptions).
 regions::Completion
 aflCompletion(const regions::RegionProgram &Prog, AflStats *Stats = nullptr,
               const constraints::GenOptions &Options =
                   constraints::GenOptions(),
-              const solver::SolveOptions &Solve = solver::SolveOptions());
+              const solver::SolveOptions &Solve = solver::SolveOptions(),
+              const closure::ClosureOptions &ClosureOpts =
+                  closure::ClosureOptions());
 
 } // namespace completion
 } // namespace afl

@@ -12,136 +12,203 @@ using closure::RegEnvId;
 
 namespace {
 
-/// A state vector: region color → state variable.
-using VecMap = std::map<Color, StateVarId>;
+/// A state vector: region color → state variable, as a sorted flat array.
+/// Iteration is in ascending color order — the same order the previous
+/// std::map representation produced, so the emitted constraint system is
+/// unchanged.
+class StateVec {
+public:
+  using Entry = std::pair<Color, StateVarId>;
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  const_iterator begin() const { return V.begin(); }
+  const_iterator end() const { return V.end(); }
+  size_t size() const { return V.size(); }
+  void reserve(size_t N) { V.reserve(N); }
+
+  /// Appends an entry with a color greater than all present ones.
+  void append(Color C, StateVarId S) {
+    assert((V.empty() || V.back().first < C) && "append must keep order");
+    V.push_back({C, S});
+  }
+
+  const StateVarId *find(Color C) const {
+    auto It = std::lower_bound(
+        V.begin(), V.end(), C,
+        [](const Entry &E, Color X) { return E.first < X; });
+    if (It != V.end() && It->first == C)
+      return &It->second;
+    return nullptr;
+  }
+
+  StateVarId at(Color C) const {
+    const StateVarId *S = find(C);
+    assert(S && "color missing from state vector");
+    return *S;
+  }
+
+  /// Insert-or-assign (the map's operator[]-and-assign).
+  void set(Color C, StateVarId S) {
+    auto It = std::lower_bound(
+        V.begin(), V.end(), C,
+        [](const Entry &E, Color X) { return E.first < X; });
+    if (It != V.end() && It->first == C)
+      It->second = S;
+    else
+      V.insert(It, {C, S});
+  }
+
+private:
+  std::vector<Entry> V;
+};
 
 class Generator {
 public:
   Generator(const RegionProgram &Prog, closure::ClosureAnalysis &CA,
             const GenOptions &Options, GenResult &Out)
-      : Prog(Prog), CA(CA), Options(Options), Out(Out) {}
+      : Prog(Prog), CA(CA), Options(Options), Out(Out) {
+    CtxCache.resize(CA.numCtxIds());
+    // Pre-size: genApp holds references into this across recursion, so
+    // the vector must never reallocate.
+    CalleeCache.resize(CA.numClosures());
+    for (auto &Index : BoolIndex)
+      Index.resize(Prog.numNodes());
+  }
 
   void run() {
-    auto [In, OutV] = genCtx(Prog.Root, CA.rootEnv());
+    const CtxEntry &Root = genCtx(Prog.Root, CA.rootEnv());
     // Program start: all global regions unallocated.
     // Program end: the result is observed, so every global (result) region
     // must be allocated. (They are reclaimed by program exit.)
     for (RegionVarId R : Prog.GlobalRegions) {
       Color C = CA.envs().colorOf(CA.rootEnv(), R);
-      auto InIt = In.find(C);
-      if (InIt != In.end())
-        Out.Sys.restrictState(InIt->second, StU);
-      auto OutIt = OutV.find(C);
-      if (OutIt != OutV.end())
-        Out.Sys.restrictState(OutIt->second, StA);
+      if (const StateVarId *S = Root.In.find(C))
+        Out.Sys.restrictState(*S, StU);
+      if (const StateVarId *S = Root.Out.find(C))
+        Out.Sys.restrictState(*S, StA);
     }
   }
 
 private:
+  /// Cached in/out vectors of a generated context, indexed by the closure
+  /// analysis' dense context id.
+  struct CtxEntry {
+    StateVec In, Out;
+    bool Done = false;
+  };
+
   ConstraintSystem &sys() { return Out.Sys; }
 
-  /// Shared boolean for a syntactic choice point.
+  /// Shared boolean for a syntactic choice point. Indexed per (kind,
+  /// node) as a short region→bool list: every context of a node re-asks
+  /// for the same few regions, so a linear scan of a node-local list
+  /// beats hashing a 64-bit key.
   BoolVarId boolFor(RNodeId Node, COpKind Kind, RegionVarId Region) {
-    auto Key = std::make_tuple(Node, Kind, Region);
-    auto It = BoolIndex.find(Key);
-    if (It != BoolIndex.end())
-      return It->second;
+    auto &Entries =
+        BoolIndex[static_cast<unsigned>(Kind)][Node];
+    for (const auto &[R, B] : Entries)
+      if (R == Region)
+        return B;
     BoolVarId B = sys().newBool();
-    BoolIndex.emplace(Key, B);
+    Entries.push_back({Region, B});
     Out.Choices.push_back({Node, Kind, Region, B});
     return B;
   }
 
-  VecMap freshVec(const std::set<Color> &Colors) {
-    VecMap V;
+  StateVec freshVec(const FlatSet<Color> &Colors) {
+    StateVec V;
+    V.reserve(Colors.size());
     for (Color C : Colors)
-      V[C] = sys().newState();
+      V.append(C, sys().newState());
     return V;
   }
 
-  /// Equates \p A and \p B on their common colors.
-  void linkEq(const VecMap &A, const VecMap &B) {
+  /// Equates \p A and \p B on their common colors (linear merge; addEq
+  /// calls in ascending color order, as before).
+  void linkEq(const StateVec &A, const StateVec &B) {
+    auto IB = B.begin();
     for (const auto &[C, S] : A) {
-      auto It = B.find(C);
-      if (It != B.end())
-        sys().addEq(S, It->second);
+      while (IB != B.end() && IB->first < C)
+        ++IB;
+      if (IB != B.end() && IB->first == C)
+        sys().addEq(S, IB->second);
     }
   }
 
   /// Projection of \p V onto \p Colors (all must be present).
-  VecMap project(const VecMap &V, const std::set<Color> &Colors) {
-    VecMap Out;
-    for (Color C : Colors) {
-      auto It = V.find(C);
-      assert(It != V.end() && "color missing from child vector");
-      Out[C] = It->second;
-    }
-    return Out;
+  StateVec project(const StateVec &V, const FlatSet<Color> &Colors) {
+    StateVec P;
+    P.reserve(Colors.size());
+    for (Color C : Colors)
+      P.append(C, V.at(C));
+    return P;
   }
 
-  void requireA(const VecMap &V, Color C) {
-    auto It = V.find(C);
-    assert(It != V.end() && "accessed region not tracked at this point");
-    sys().restrictState(It->second, StA);
+  void requireA(const StateVec &V, Color C) {
+    sys().restrictState(V.at(C), StA);
   }
 
   /// Generates the in/out vectors for context (N, contextEnv(N, Incoming)).
   /// Cached so all call sites of a shared function body link to the same
-  /// vectors; recursion terminates because the cache is filled before the
-  /// body is processed.
-  std::pair<VecMap, VecMap> genCtx(const RExpr *N, RegEnvId Incoming) {
+  /// vectors; recursion terminates because the entry is marked done before
+  /// the body is processed. The returned reference is stable: the cache is
+  /// pre-sized to the analysis' context count and never reallocates.
+  const CtxEntry &genCtx(const RExpr *N, RegEnvId Incoming) {
     RegEnvId Env = CA.contextEnv(N, Incoming);
-    auto Key = std::make_pair(N->id(), Env);
-    auto It = CtxCache.find(Key);
-    if (It != CtxCache.end())
-      return It->second;
+    uint32_t Ctx = CA.ctxIndex(N->id(), Env);
+    assert(Ctx != closure::ClosureAnalysis::NoCtx &&
+           "constraint generation reached a context the closure analysis "
+           "did not register");
+    CtxEntry &E = CtxCache[Ctx];
+    if (E.Done)
+      return E;
+    E.Done = true;
 
-    std::set<Color> Colors = CA.envs().colorsOf(Env, N->overallEffect());
-    VecMap In = freshVec(Colors);
-    VecMap OutV = freshVec(Colors);
-    CtxCache.emplace(Key, std::make_pair(In, OutV));
+    FlatSet<Color> Colors = CA.envs().colorsOf(Env, N->overallEffect());
+    E.In = freshVec(Colors);
+    E.Out = freshVec(Colors);
     ++Out.NumContexts;
 
     // letregion entry: freshly introduced regions start unallocated.
     for (RegionVarId R : N->boundRegions())
-      sys().restrictState(In.at(CA.envs().colorOf(Env, R)), StU);
+      sys().restrictState(E.In.at(CA.envs().colorOf(Env, R)), StU);
 
     // Pre-chain: potential alloc_before for every overall-effect region,
     // sequentialized in ascending region order (§4.2: aliased variables
     // must not both fire, which sequential triples guarantee). Under the
     // lexical-allocation ablation, only the introducing node gets a
     // choice point.
-    VecMap Cur = In;
-    for (RegionVarId R : sortedOverall(N)) {
+    StateVec Cur = E.In;
+    for (RegionVarId R : N->overallEffect()) {
       if (!Options.LateAlloc && !introduces(N, R))
         continue;
       Color C = CA.envs().colorOf(Env, R);
       BoolVarId B = boolFor(N->id(), COpKind::AllocBefore, R);
       StateVarId Next = sys().newState();
       sys().addAllocTriple(Cur.at(C), B, Next);
-      Cur[C] = Next;
+      Cur.set(C, Next);
     }
 
-    VecMap CoreOut = genCore(N, Env, Cur);
+    StateVec CoreOut = genCore(N, Env, std::move(Cur));
 
     // Post-chain: potential free_after for every overall-effect region.
-    for (RegionVarId R : sortedOverall(N)) {
+    for (RegionVarId R : N->overallEffect()) {
       if (!Options.EarlyFree && !introduces(N, R))
         continue;
       Color C = CA.envs().colorOf(Env, R);
       BoolVarId B = boolFor(N->id(), COpKind::FreeAfter, R);
       StateVarId Next = sys().newState();
       sys().addDeallocTriple(CoreOut.at(C), B, Next);
-      CoreOut[C] = Next;
+      CoreOut.set(C, Next);
     }
 
-    linkEq(CoreOut, OutV);
+    linkEq(CoreOut, E.Out);
 
     // letregion exit: introduced regions must not be left allocated.
     for (RegionVarId R : N->boundRegions())
-      sys().restrictState(OutV.at(CA.envs().colorOf(Env, R)), StU | StD);
+      sys().restrictState(E.Out.at(CA.envs().colorOf(Env, R)), StU | StD);
 
-    return {In, OutV};
+    return E;
   }
 
   /// True if \p N is the point where \p R enters scope (its letregion
@@ -157,27 +224,24 @@ private:
     return false;
   }
 
-  std::vector<RegionVarId> sortedOverall(const RExpr *N) const {
-    return std::vector<RegionVarId>(N->overallEffect().begin(),
-                                    N->overallEffect().end());
-  }
-
   /// Links child (in its own context) into the current chain: equates
   /// \p Cur with the child's in vector and returns the child's out vector
   /// projected onto \p MyColors.
-  VecMap genChild(const RExpr *Child, RegEnvId Env, const VecMap &Cur,
-                  const std::set<Color> &MyColors) {
-    auto [CIn, COut] = genCtx(Child, Env);
-    linkEq(Cur, CIn);
-    return project(COut, MyColors);
+  StateVec genChild(const RExpr *Child, RegEnvId Env, const StateVec &Cur,
+                    const FlatSet<Color> &MyColors) {
+    const CtxEntry &C = genCtx(Child, Env);
+    linkEq(Cur, C.In);
+    return project(C.Out, MyColors);
   }
 
-  VecMap genCore(const RExpr *N, RegEnvId Env, VecMap Cur) {
-    std::set<Color> MyColors;
+  StateVec genCore(const RExpr *N, RegEnvId Env, StateVec Cur) {
+    std::vector<Color> Keys;
+    Keys.reserve(Cur.size());
     for (const auto &[C, S] : Cur)
-      MyColors.insert(C);
+      Keys.push_back(C);
+    FlatSet<Color> MyColors = FlatSet<Color>::fromSorted(std::move(Keys));
 
-    auto requireReadsWrites = [&](const VecMap &V) {
+    auto requireReadsWrites = [&](const StateVec &V) {
       if (N->hasWriteRegion())
         requireA(V, CA.envs().colorOf(Env, N->writeRegion()));
       for (RegionVarId R : N->readRegions())
@@ -197,7 +261,7 @@ private:
       return Cur;
     case RExpr::Kind::Let: {
       const auto *L = cast<RLetExpr>(N);
-      VecMap AfterInit = genChild(L->init(), Env, Cur, MyColors);
+      StateVec AfterInit = genChild(L->init(), Env, Cur, MyColors);
       return genChild(L->body(), Env, AfterInit, MyColors);
     }
     case RExpr::Kind::Letrec: {
@@ -208,43 +272,43 @@ private:
     }
     case RExpr::Kind::If: {
       const auto *I = cast<RIfExpr>(N);
-      VecMap AfterCond = genChild(I->cond(), Env, Cur, MyColors);
+      StateVec AfterCond = genChild(I->cond(), Env, Cur, MyColors);
       // The condition's region is read after it is evaluated.
       requireA(AfterCond, CA.envs().colorOf(Env, N->readRegions()[0]));
-      auto [TIn, TOut] = genCtx(I->thenExpr(), Env);
-      auto [EIn, EOut] = genCtx(I->elseExpr(), Env);
-      linkEq(AfterCond, TIn);
-      linkEq(AfterCond, EIn);
-      VecMap Joined = freshVec(MyColors);
-      linkEq(project(TOut, MyColors), Joined);
-      linkEq(project(EOut, MyColors), Joined);
+      const CtxEntry &T = genCtx(I->thenExpr(), Env);
+      const CtxEntry &E = genCtx(I->elseExpr(), Env);
+      linkEq(AfterCond, T.In);
+      linkEq(AfterCond, E.In);
+      StateVec Joined = freshVec(MyColors);
+      linkEq(project(T.Out, MyColors), Joined);
+      linkEq(project(E.Out, MyColors), Joined);
       return Joined;
     }
     case RExpr::Kind::Pair: {
       const auto *P = cast<RPairExpr>(N);
-      VecMap AfterFirst = genChild(P->first(), Env, Cur, MyColors);
-      VecMap AfterSecond =
+      StateVec AfterFirst = genChild(P->first(), Env, Cur, MyColors);
+      StateVec AfterSecond =
           genChild(P->second(), Env, AfterFirst, MyColors);
       requireReadsWrites(AfterSecond);
       return AfterSecond;
     }
     case RExpr::Kind::Cons: {
       const auto *Cn = cast<RConsExpr>(N);
-      VecMap AfterHead = genChild(Cn->head(), Env, Cur, MyColors);
-      VecMap AfterTail = genChild(Cn->tail(), Env, AfterHead, MyColors);
+      StateVec AfterHead = genChild(Cn->head(), Env, Cur, MyColors);
+      StateVec AfterTail = genChild(Cn->tail(), Env, AfterHead, MyColors);
       requireReadsWrites(AfterTail);
       return AfterTail;
     }
     case RExpr::Kind::UnOp: {
       const auto *U = cast<RUnOpExpr>(N);
-      VecMap AfterOp = genChild(U->operand(), Env, Cur, MyColors);
+      StateVec AfterOp = genChild(U->operand(), Env, Cur, MyColors);
       requireReadsWrites(AfterOp);
       return AfterOp;
     }
     case RExpr::Kind::BinOp: {
       const auto *B = cast<RBinOpExpr>(N);
-      VecMap AfterLhs = genChild(B->lhs(), Env, Cur, MyColors);
-      VecMap AfterRhs = genChild(B->rhs(), Env, AfterLhs, MyColors);
+      StateVec AfterLhs = genChild(B->lhs(), Env, Cur, MyColors);
+      StateVec AfterRhs = genChild(B->rhs(), Env, AfterLhs, MyColors);
       requireReadsWrites(AfterRhs);
       return AfterRhs;
     }
@@ -255,10 +319,10 @@ private:
     return Cur;
   }
 
-  VecMap genApp(const RAppExpr *N, RegEnvId Env, VecMap Cur,
-                const std::set<Color> &MyColors) {
-    VecMap AfterFn = genChild(N->fn(), Env, Cur, MyColors);
-    VecMap AfterArg = genChild(N->arg(), Env, AfterFn, MyColors);
+  StateVec genApp(const RAppExpr *N, RegEnvId Env, StateVec Cur,
+                  const FlatSet<Color> &MyColors) {
+    StateVec AfterFn = genChild(N->fn(), Env, Cur, MyColors);
+    StateVec AfterArg = genChild(N->arg(), Env, AfterFn, MyColors);
 
     // Fetching the closure reads its region.
     RegionVarId ClosRegion = N->readRegions()[0];
@@ -267,39 +331,35 @@ private:
 
     // free_app choice point on the closure's region (§1): after the fetch,
     // before the body.
-    VecMap FA = AfterArg;
+    StateVec FA = AfterArg;
     if (Options.FreeApp) {
       BoolVarId B = boolFor(N->id(), COpKind::FreeApp, ClosRegion);
       StateVarId Next = sys().newState();
       sys().addDeallocTriple(FA.at(ClosColor), B, Next);
-      FA[ClosColor] = Next;
+      FA.set(ClosColor, Next);
     }
 
-    // Caller-side effect colors of the call (set B in Fig. 4).
-    std::set<RegionVarId> CallerLatent;
-    {
-      EffectSet Probe;
-      Probe.EffectVars.insert(
-          Prog.Types.arrowEffect(N->fn()->type()));
-      CallerLatent = Prog.Types.regionsOf(Probe);
-    }
-    std::set<Color> CallerB;
+    // Caller-side effect colors of the call (set B in Fig. 4). The latent
+    // region set depends only on the fn node's arrow type — cache per node.
+    const std::set<RegionVarId> &CallerLatent = callerLatentOf(N->fn());
+    FlatSet<Color> CallerB;
     for (RegionVarId R : CallerLatent)
       if (CA.envs().maps(Env, R))
         CallerB.insert(CA.envs().colorOf(Env, R));
 
-    VecMap Result = freshVec(MyColors);
+    StateVec Result = freshVec(MyColors);
 
     RegEnvId FnCtxEnv = CA.contextEnv(N->fn(), Env);
-    const std::set<AbsClosureId> &Closures =
+    const FlatSet<AbsClosureId> &Closures =
         CA.valuesOf(N->fn()->id(), FnCtxEnv);
 
-    std::set<Color> BAll; // union of linked callee effect colors
+    FlatSet<Color> BAll; // union of linked callee effect colors
     for (AbsClosureId Id : Closures) {
       const AbsClosure &Cl = CA.closure(Id);
-      std::set<regions::RegionVarId> CalleeLatent = CA.latentOf(Cl);
-      std::set<Color> CalleeB = CA.envs().colorsOf(Cl.Env, CalleeLatent);
-      auto [BIn, BOut] = genCtx(CA.bodyOf(Cl), Cl.Env);
+      const CalleeInfo &Callee = calleeInfoOf(Id);
+      const std::set<regions::RegionVarId> &CalleeLatent = Callee.Latent;
+      const FlatSet<Color> &CalleeB = Callee.B;
+      const CtxEntry &Body = genCtx(CA.bodyOf(Cl), Cl.Env);
 
       // The B-equalities of Fig. 4 are justified only when the closure's
       // environment is color-consistent with the caller's: every *free*
@@ -309,13 +369,9 @@ private:
       // of the actuals by construction. Closures created in this caller's
       // lineage satisfy the check; closures that arrived through merged
       // flows (the escape pool, merged variable sets) may not.
-      std::set<regions::RegionVarId> Formals;
-      if (const auto *Callee = dyn_cast<RLetrecExpr>(Cl.Fun))
-        Formals.insert(Callee->formals().begin(),
-                       Callee->formals().end());
       bool Aligned = true;
       for (const auto &[Var, C] : CA.envs().get(Cl.Env)) {
-        if (Formals.count(Var))
+        if (Callee.Formals.contains(Var))
           continue;
         if (CA.envs().maps(Env, Var) &&
             CA.envs().colorOf(Env, Var) != C) {
@@ -327,16 +383,16 @@ private:
       if (Aligned) {
         // Equate caller and callee states over B on entry and exit.
         for (Color C : CalleeB) {
-          auto FAIt = FA.find(C);
-          auto BInIt = BIn.find(C);
-          if (FAIt != FA.end() && BInIt != BIn.end())
-            sys().addEq(FAIt->second, BInIt->second);
-          auto ROutIt = Result.find(C);
-          auto BOutIt = BOut.find(C);
-          if (ROutIt != Result.end() && BOutIt != BOut.end())
-            sys().addEq(ROutIt->second, BOutIt->second);
+          const StateVarId *FAS = FA.find(C);
+          const StateVarId *BInS = Body.In.find(C);
+          if (FAS && BInS)
+            sys().addEq(*FAS, *BInS);
+          const StateVarId *RS = Result.find(C);
+          const StateVarId *BOutS = Body.Out.find(C);
+          if (RS && BOutS)
+            sys().addEq(*RS, *BOutS);
         }
-        BAll.insert(CalleeB.begin(), CalleeB.end());
+        BAll.unionWith(CalleeB);
       } else {
         // Conservative fallback: pin every region the call touches
         // allocated across the call, on both sides — by *name* on the
@@ -346,33 +402,27 @@ private:
         for (regions::RegionVarId V : CalleeLatent) {
           if (CA.envs().maps(Env, V)) {
             Color C = CA.envs().colorOf(Env, V);
-            auto FAIt = FA.find(C);
-            if (FAIt != FA.end())
-              sys().restrictState(FAIt->second, StA);
-            auto RIt = Result.find(C);
-            if (RIt != Result.end())
-              sys().restrictState(RIt->second, StA);
+            if (const StateVarId *S = FA.find(C))
+              sys().restrictState(*S, StA);
+            if (const StateVarId *S = Result.find(C))
+              sys().restrictState(*S, StA);
             // The caller may not change this region's state across the
             // call (the callee assumes it allocated throughout).
             BAll.insert(C);
           }
         }
         for (Color C : CallerB) {
-          auto FAIt = FA.find(C);
-          if (FAIt != FA.end())
-            sys().restrictState(FAIt->second, StA);
-          auto RIt = Result.find(C);
-          if (RIt != Result.end())
-            sys().restrictState(RIt->second, StA);
+          if (const StateVarId *S = FA.find(C))
+            sys().restrictState(*S, StA);
+          if (const StateVarId *S = Result.find(C))
+            sys().restrictState(*S, StA);
           BAll.insert(C);
         }
         for (Color C : CalleeB) {
-          auto BInIt = BIn.find(C);
-          if (BInIt != BIn.end())
-            sys().restrictState(BInIt->second, StA);
-          auto BOutIt = BOut.find(C);
-          if (BOutIt != BOut.end())
-            sys().restrictState(BOutIt->second, StA);
+          if (const StateVarId *S = Body.In.find(C))
+            sys().restrictState(*S, StA);
+          if (const StateVarId *S = Body.Out.find(C))
+            sys().restrictState(*S, StA);
         }
       }
     }
@@ -381,21 +431,62 @@ private:
     // state-polymorphically. (With no known closures — dead code — all
     // colors pass through.)
     for (Color C : MyColors) {
-      if (BAll.count(C) && CallerB.count(C))
+      if (BAll.contains(C) && CallerB.contains(C))
         continue;
-      auto FAIt = FA.find(C);
-      if (FAIt != FA.end())
-        sys().addEq(FAIt->second, Result.at(C));
+      if (const StateVarId *S = FA.find(C))
+        sys().addEq(*S, Result.at(C));
     }
     return Result;
+  }
+
+  /// Per-closure call-edge facts: the latent region variables of the
+  /// closure's arrow type and their colors in the closure's environment
+  /// (set B on the callee side). Both are functions of the closure id
+  /// alone; applications with many call edges reuse them.
+  struct CalleeInfo {
+    std::set<regions::RegionVarId> Latent;
+    FlatSet<Color> B;
+    /// Region formals of a letrec closure (excluded from the alignment
+    /// check); empty for lambdas.
+    FlatSet<regions::RegionVarId> Formals;
+    bool Cached = false;
+  };
+
+  const CalleeInfo &calleeInfoOf(AbsClosureId Id) {
+    assert(Id < CalleeCache.size() && "closure id out of range");
+    CalleeInfo &Info = CalleeCache[Id];
+    if (!Info.Cached) {
+      const AbsClosure &Cl = CA.closure(Id);
+      Info.Latent = CA.latentOf(Cl);
+      Info.B = CA.envs().colorsOf(Cl.Env, Info.Latent);
+      if (const auto *Callee = dyn_cast<RLetrecExpr>(Cl.Fun))
+        for (regions::RegionVarId F : Callee->formals())
+          Info.Formals.insert(F);
+      Info.Cached = true;
+    }
+    return Info;
+  }
+
+  /// Caller-side latent region variables, keyed by the fn node.
+  const std::set<RegionVarId> &callerLatentOf(const RExpr *Fn) {
+    auto [It, Inserted] = CallerLatentCache.try_emplace(Fn->id());
+    if (Inserted) {
+      EffectSet Probe;
+      Probe.EffectVars.insert(Prog.Types.arrowEffect(Fn->type()));
+      It->second = Prog.Types.regionsOf(Probe);
+    }
+    return It->second;
   }
 
   const RegionProgram &Prog;
   closure::ClosureAnalysis &CA;
   const GenOptions &Options;
   GenResult &Out;
-  std::map<std::pair<RNodeId, RegEnvId>, std::pair<VecMap, VecMap>> CtxCache;
-  std::map<std::tuple<RNodeId, COpKind, RegionVarId>, BoolVarId> BoolIndex;
+  std::vector<CtxEntry> CtxCache;
+  std::vector<CalleeInfo> CalleeCache;
+  std::unordered_map<RNodeId, std::set<RegionVarId>> CallerLatentCache;
+  /// Per choice-point kind and node: (region, boolean variable) pairs.
+  std::vector<std::vector<std::pair<RegionVarId, BoolVarId>>> BoolIndex[5];
 };
 
 } // namespace

@@ -55,18 +55,16 @@ struct Constraint {
   BoolVarId B = 0; // triples only
 };
 
-/// Variable store + constraint list + occurrence lists.
+/// Variable store + constraint list + occurrence index.
 class ConstraintSystem {
 public:
   StateVarId newState(uint8_t Domain = StAny) {
     StateDom.push_back(Domain);
-    StateOcc.emplace_back();
     return static_cast<StateVarId>(StateDom.size() - 1);
   }
 
   BoolVarId newBool() {
     BoolDom.push_back(BAny);
-    BoolOcc.emplace_back();
     return static_cast<BoolVarId>(BoolDom.size() - 1);
   }
 
@@ -98,22 +96,77 @@ public:
     return N;
   }
 
+  /// Contiguous view of one variable's occurrence list (ascending
+  /// constraint indices).
+  struct OccRange {
+    const uint32_t *B = nullptr, *E = nullptr;
+    const uint32_t *begin() const { return B; }
+    const uint32_t *end() const { return E; }
+    size_t size() const { return static_cast<size_t>(E - B); }
+  };
+
+  /// Constraints mentioning state variable \p S. The index is CSR-shaped
+  /// (one flat offset array + one flat data array) and built lazily on
+  /// first access: generation only appends constraints and never pays for
+  /// it, and building it once afterwards is two linear passes — the
+  /// per-variable vector-of-vectors it replaces made `addConstraint` the
+  /// generation hot spot via hundreds of thousands of small allocations.
+  OccRange stateOcc(StateVarId S) const {
+    ensureOcc();
+    return {SOccData.data() + SOccStart[S], SOccData.data() + SOccStart[S + 1]};
+  }
+
+  /// Constraints mentioning boolean variable \p B (triples only).
+  OccRange boolOcc(BoolVarId V) const {
+    ensureOcc();
+    return {BOccData.data() + BOccStart[V], BOccData.data() + BOccStart[V + 1]};
+  }
+
   // Solver access.
   std::vector<uint8_t> StateDom;
   std::vector<uint8_t> BoolDom;
   std::vector<Constraint> Cons;
-  std::vector<std::vector<uint32_t>> StateOcc; // state var -> constraints
-  std::vector<std::vector<uint32_t>> BoolOcc;  // bool var -> constraints
 
 private:
-  void addConstraint(Constraint C) {
-    uint32_t Idx = static_cast<uint32_t>(Cons.size());
-    Cons.push_back(C);
-    StateOcc[C.S1].push_back(Idx);
-    StateOcc[C.S2].push_back(Idx);
-    if (C.K != Constraint::Kind::Eq)
-      BoolOcc[C.B].push_back(Idx);
+  void addConstraint(Constraint C) { Cons.push_back(C); }
+
+  void ensureOcc() const {
+    if (OccConsBuilt == Cons.size() &&
+        SOccStart.size() == StateDom.size() + 1 &&
+        BOccStart.size() == BoolDom.size() + 1)
+      return;
+    SOccStart.assign(StateDom.size() + 1, 0);
+    BOccStart.assign(BoolDom.size() + 1, 0);
+    for (const Constraint &C : Cons) {
+      ++SOccStart[C.S1 + 1];
+      ++SOccStart[C.S2 + 1];
+      if (C.K != Constraint::Kind::Eq)
+        ++BOccStart[C.B + 1];
+    }
+    for (size_t I = 1; I < SOccStart.size(); ++I)
+      SOccStart[I] += SOccStart[I - 1];
+    for (size_t I = 1; I < BOccStart.size(); ++I)
+      BOccStart[I] += BOccStart[I - 1];
+    SOccData.resize(SOccStart.back());
+    BOccData.resize(BOccStart.back());
+    // Fill with a moving cursor per variable; iterating constraints in
+    // index order keeps each list ascending — the same order the old
+    // per-variable push_back produced.
+    std::vector<uint32_t> SCur(SOccStart.begin(), SOccStart.end() - 1);
+    std::vector<uint32_t> BCur(BOccStart.begin(), BOccStart.end() - 1);
+    for (uint32_t Idx = 0; Idx != Cons.size(); ++Idx) {
+      const Constraint &C = Cons[Idx];
+      SOccData[SCur[C.S1]++] = Idx;
+      SOccData[SCur[C.S2]++] = Idx;
+      if (C.K != Constraint::Kind::Eq)
+        BOccData[BCur[C.B]++] = Idx;
+    }
+    OccConsBuilt = Cons.size();
   }
+
+  mutable std::vector<uint32_t> SOccStart, SOccData;
+  mutable std::vector<uint32_t> BOccStart, BOccData;
+  mutable size_t OccConsBuilt = static_cast<size_t>(-1);
 };
 
 } // namespace constraints

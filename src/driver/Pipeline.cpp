@@ -53,6 +53,8 @@ void driver::recordPipelineMetrics(MetricsRegistry &Reg,
     Reg.set("region_vars", Stats.RegionVars);
     Reg.set("closure_contexts", Analysis.NumContexts);
     Reg.set("closures", Analysis.NumClosures);
+    Reg.set("closure_envs", Analysis.Closure.NumEnvs);
+    Reg.set("closure_interned_sets", Analysis.Closure.InternedSets);
     Reg.set("state_vars", Analysis.NumStateVars);
     Reg.set("bool_vars", Analysis.NumBoolVars);
     Reg.set("constraints", Analysis.NumConstraints);
@@ -67,7 +69,15 @@ void driver::recordPipelineMetrics(MetricsRegistry &Reg,
     Stage("type_inference", Stats.TypeInferSeconds);
     Stage("region_inference", Stats.RegionInferSeconds);
     Stage("conservative_completion", Stats.ConservativeSeconds);
-    Stage("closure_analysis", Stats.ClosureSeconds);
+    {
+      MetricScope S(Reg, "closure_analysis");
+      Reg.addTime("wall_seconds", Stats.ClosureSeconds);
+      Reg.add("passes", Analysis.Closure.Passes);
+      Reg.add("processed_contexts", Analysis.Closure.ProcessedContexts);
+      Reg.add("enqueued", Analysis.Closure.Enqueued);
+      Reg.set("worklist", Analysis.Closure.UsedWorklist ? 1 : 0);
+      Reg.set("converged", Analysis.Closure.Converged ? 1 : 0);
+    }
     Stage("constraint_gen", Stats.ConstraintGenSeconds);
     {
       MetricScope S(Reg, "solve");
@@ -155,6 +165,13 @@ std::string driver::formatTimings(const PipelineStats &Stats,
                 (unsigned long long)Analysis.SolverChoices,
                 (unsigned long long)Analysis.SolverBacktracks);
   Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "closure: %s, %u pass(es), %zu contexts processed, "
+                "%zu enqueued\n",
+                Analysis.Closure.UsedWorklist ? "worklist" : "restart",
+                Analysis.Closure.Passes, Analysis.Closure.ProcessedContexts,
+                Analysis.Closure.Enqueued);
+  Out += Buf;
   const solver::SimplifyStats &Simp = Analysis.SolverSimplify;
   if (Simp.ConstraintsBefore) {
     std::snprintf(Buf, sizeof(Buf),
@@ -209,8 +226,9 @@ PipelineResult driver::runPipeline(std::string_view Source,
   R.ConservativeC = completion::conservativeCompletion(*R.Prog);
   R.Stats.ConservativeSeconds = Watch.seconds();
 
-  R.AflC = completion::aflCompletion(*R.Prog, &R.Analysis,
-                                     Options.GenOptions, Options.SolveOptions);
+  R.AflC = completion::aflCompletion(*R.Prog, &R.Analysis, Options.GenOptions,
+                                     Options.SolveOptions,
+                                     Options.ClosureOptions);
   R.Stats.ClosureSeconds = R.Analysis.ClosureSeconds;
   R.Stats.ConstraintGenSeconds = R.Analysis.ConstraintGenSeconds;
   R.Stats.SolveSeconds = R.Analysis.SolveSeconds;

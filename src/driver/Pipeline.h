@@ -41,6 +41,8 @@ struct PipelineOptions {
   /// Solver preprocessing switches (`aflc --no-simplify`,
   /// `--solver-jobs N`).
   solver::SolveOptions SolveOptions;
+  /// Closure-analysis fixpoint mode and caps (`aflc --closure-restart`).
+  closure::ClosureOptions ClosureOptions;
 };
 
 /// Per-stage observability for one pipeline run: wall-clock time of every

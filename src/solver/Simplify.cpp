@@ -182,7 +182,7 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
     assert(BD[B] == BAny);
     BD[B] = Value;
     ++Out.Stats.BoolsForced;
-    for (uint32_t CI : Sys.BoolOcc[B])
+    for (uint32_t CI : Sys.boolOcc(B))
       if (TripleOf[CI] != None)
         Enqueue(TripleOf[CI]);
   };
@@ -261,7 +261,6 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
   // Boolean ids survive unchanged; forced values become singleton
   // initial domains.
   Res.BoolDom = BD;
-  Res.BoolOcc.resize(BD.size());
 
   // Phase 4: emit the surviving triples, deduplicating identical ones
   // with a flat open-addressing table (keys are nonzero: at fixpoint no
@@ -313,25 +312,6 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
   }
   std::reverse(Kept.begin(), Kept.end());
 
-  // Reserve the exact occurrence-list sizes before adding constraints —
-  // growth reallocations of tens of thousands of small vectors would
-  // otherwise dominate this phase.
-  {
-    std::vector<uint32_t> SDeg(Res.numStateVars(), 0);
-    std::vector<uint32_t> BDeg(BD.size(), 0);
-    for (uint32_t CI : Kept) {
-      const Constraint &C = Sys.Cons[CI];
-      ++SDeg[Out.StateRep[C.S1]];
-      ++SDeg[Out.StateRep[C.S2]];
-      ++BDeg[C.B];
-    }
-    for (size_t V = 0; V != SDeg.size(); ++V)
-      if (SDeg[V])
-        Res.StateOcc[V].reserve(SDeg[V]);
-    for (size_t B = 0; B != BDeg.size(); ++B)
-      if (BDeg[B])
-        Res.BoolOcc[B].reserve(BDeg[B]);
-  }
   Res.Cons.reserve(Kept.size());
   for (uint32_t CI : Kept) {
     const Constraint &C = Sys.Cons[CI];

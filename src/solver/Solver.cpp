@@ -43,7 +43,7 @@ private:
     // each constraint queued at most once — without them,
     // propagation-heavy programs push the same index on every domain
     // change (quadratic growth).
-    const auto &Occ = IsBool ? Sys.BoolOcc[Id] : Sys.StateOcc[Id];
+    const auto Occ = IsBool ? Sys.boolOcc(Id) : Sys.stateOcc(Id);
     for (uint32_t CI : Occ) {
       const Constraint &C = Sys.Cons[CI];
       if (C.K == Constraint::Kind::AllocTriple) {
@@ -63,7 +63,7 @@ private:
   }
 
   void enqueueOcc(bool IsBool, uint32_t Id) {
-    const auto &Occ = IsBool ? Sys.BoolOcc[Id] : Sys.StateOcc[Id];
+    const auto Occ = IsBool ? Sys.boolOcc(Id) : Sys.stateOcc(Id);
     for (uint32_t CI : Occ) {
       if (!InQueue[CI]) {
         InQueue[CI] = true;

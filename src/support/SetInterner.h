@@ -1,0 +1,112 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SetInterner<T>: hash-consing for FlatSet<T>. Every distinct set is
+/// stored once and referred to by a dense 32-bit SetId (id 0 is always
+/// the empty set), so set equality is an integer compare and the
+/// closure-analysis tables hold one word per (context, value-set) entry.
+/// Union and element-insert results are memoized by id pair: the fixpoint
+/// re-unions the same few sets thousands of times, and after the first
+/// computation each repeat is a single hash lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SUPPORT_SETINTERNER_H
+#define AFL_SUPPORT_SETINTERNER_H
+
+#include "support/FlatSet.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace afl {
+
+template <typename T> class SetInterner {
+public:
+  using SetId = uint32_t;
+  static constexpr SetId Empty = 0;
+
+  SetInterner() {
+    Sets.emplace_back(); // id 0: the empty set
+    Buckets.emplace(hashSet(Sets[0]), std::vector<SetId>{Empty});
+  }
+
+  const FlatSet<T> &get(SetId Id) const { return Sets[Id]; }
+
+  /// Number of distinct sets interned (including the empty set).
+  size_t size() const { return Sets.size(); }
+
+  /// Interns \p S, returning the id of the canonical copy.
+  SetId intern(FlatSet<T> S) {
+    uint64_t H = hashSet(S);
+    std::vector<SetId> &Bucket = Buckets[H];
+    for (SetId Id : Bucket)
+      if (Sets[Id] == S)
+        return Id;
+    SetId Id = static_cast<SetId>(Sets.size());
+    Sets.push_back(std::move(S));
+    Bucket.push_back(Id);
+    return Id;
+  }
+
+  SetId single(const T &X) {
+    FlatSet<T> S;
+    S.insert(X);
+    return intern(std::move(S));
+  }
+
+  /// Union by id, memoized. Identical or empty operands never touch the
+  /// cache.
+  SetId unionSets(SetId A, SetId B) {
+    if (A == B || B == Empty)
+      return A;
+    if (A == Empty)
+      return B;
+    if (A > B)
+      std::swap(A, B); // commutative: canonicalize the cache key
+    uint64_t Key = (static_cast<uint64_t>(A) << 32) | B;
+    auto It = UnionCache.find(Key);
+    if (It != UnionCache.end())
+      return It->second;
+    FlatSet<T> U = Sets[A];
+    U.unionWith(Sets[B]);
+    SetId R = intern(std::move(U));
+    UnionCache.emplace(Key, R);
+    return R;
+  }
+
+  /// insert(S, x) by id, memoized.
+  SetId insert(SetId S, const T &X) {
+    if (Sets[S].contains(X))
+      return S;
+    uint64_t Key = (static_cast<uint64_t>(S) << 32) ^ 0x9e3779b97f4a7c15ull ^
+                   static_cast<uint64_t>(X);
+    auto It = InsertCache.find(Key);
+    if (It != InsertCache.end())
+      return It->second;
+    FlatSet<T> U = Sets[S];
+    U.insert(X);
+    SetId R = intern(std::move(U));
+    InsertCache.emplace(Key, R);
+    return R;
+  }
+
+private:
+  static uint64_t hashSet(const FlatSet<T> &S) {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (const T &X : S) {
+      H ^= static_cast<uint64_t>(X) + 0x9e3779b97f4a7c15ull;
+      H *= 0x100000001b3ull;
+    }
+    return H;
+  }
+
+  std::vector<FlatSet<T>> Sets;
+  std::unordered_map<uint64_t, std::vector<SetId>> Buckets;
+  std::unordered_map<uint64_t, SetId> UnionCache;
+  std::unordered_map<uint64_t, SetId> InsertCache;
+};
+
+} // namespace afl
+
+#endif // AFL_SUPPORT_SETINTERNER_H

@@ -74,7 +74,7 @@ TEST(ClosureAnalysis, DirectLambdaApplication) {
       App = AE;
   }
   ASSERT_NE(App, nullptr);
-  const std::set<RegEnvId> &Ctxs = A.CA->contextsOf(App->fn()->id());
+  const FlatSet<RegEnvId> &Ctxs = A.CA->contextsOf(App->fn()->id());
   ASSERT_EQ(Ctxs.size(), 1u);
   EXPECT_EQ(A.CA->valuesOf(App->fn()->id(), *Ctxs.begin()).size(), 1u);
 }
@@ -88,7 +88,7 @@ TEST(ClosureAnalysis, FlowThroughLetAndIf) {
       App = AE;
   }
   ASSERT_NE(App, nullptr);
-  const std::set<RegEnvId> &Ctxs = A.CA->contextsOf(App->fn()->id());
+  const FlatSet<RegEnvId> &Ctxs = A.CA->contextsOf(App->fn()->id());
   ASSERT_EQ(Ctxs.size(), 1u);
   // Both lambdas reach the call.
   EXPECT_EQ(A.CA->valuesOf(App->fn()->id(), *Ctxs.begin()).size(), 2u);
@@ -106,9 +106,9 @@ TEST(ClosureAnalysis, LetrecClosureCarriesFormalBindings) {
   }
   ASSERT_NE(RA, nullptr);
   ASSERT_NE(L, nullptr);
-  const std::set<RegEnvId> &Ctxs = A.CA->contextsOf(RA->id());
+  const FlatSet<RegEnvId> &Ctxs = A.CA->contextsOf(RA->id());
   ASSERT_FALSE(Ctxs.empty());
-  const std::set<AbsClosureId> &Vals =
+  const FlatSet<AbsClosureId> &Vals =
       A.CA->valuesOf(RA->id(), *Ctxs.begin());
   ASSERT_EQ(Vals.size(), 1u);
   const AbsClosure &Cl = A.CA->closure(*Vals.begin());
@@ -130,10 +130,10 @@ TEST(ClosureAnalysis, AliasedActualsShareColor) {
     const auto *RA = dyn_cast<RRegAppExpr>(N);
     if (!RA)
       continue;
-    const std::set<RegEnvId> &Ctxs = A.CA->contextsOf(RA->id());
+    const FlatSet<RegEnvId> &Ctxs = A.CA->contextsOf(RA->id());
     if (Ctxs.empty())
       continue;
-    const std::set<AbsClosureId> &Vals =
+    const FlatSet<AbsClosureId> &Vals =
         A.CA->valuesOf(RA->id(), *Ctxs.begin());
     if (Vals.empty())
       continue;
@@ -163,6 +163,70 @@ TEST(ClosureAnalysis, PolymorphicRecursionBoundedContexts) {
   // must still be finite (colors are bounded by scope size).
   Analyzed A = analyze(programs::appelSource(6));
   EXPECT_LT(A.CA->numContexts(), 10000u);
+}
+
+TEST(ClosureAnalysis, ReportsConvergence) {
+  Analyzed A = analyze(programs::fibSource(5));
+  EXPECT_TRUE(A.CA->converged());
+  EXPECT_TRUE(A.CA->error().empty());
+  EXPECT_TRUE(A.CA->stats().Converged);
+  EXPECT_GE(A.CA->stats().Passes, 1u);
+  EXPECT_GT(A.CA->stats().ProcessedContexts, 0u);
+}
+
+// Satellite (ISSUE): the stabilization cap is a reported failure, not an
+// assert. A tiny step budget must make run() return false with a
+// diagnostic, in both fixpoint modes.
+TEST(ClosureAnalysis, WorklistCapReportsFailure) {
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr(programs::fibSource(5), Ctx, Diags);
+  ASSERT_NE(E, nullptr) << Diags.str();
+  types::TypedProgram T = types::inferTypes(E, Ctx, Diags);
+  ASSERT_TRUE(T.Success) << Diags.str();
+  auto Prog = inferRegions(E, Ctx, T, Diags);
+  ASSERT_NE(Prog, nullptr) << Diags.str();
+
+  ClosureOptions Opts;
+  Opts.UseWorklist = true;
+  Opts.MaxSteps = 2; // far too few for any real program
+  ClosureAnalysis CA(*Prog, Opts);
+  EXPECT_FALSE(CA.run());
+  EXPECT_FALSE(CA.converged());
+  EXPECT_FALSE(CA.stats().Converged);
+  EXPECT_NE(CA.error().find("failed to stabilize"), std::string::npos)
+      << CA.error();
+}
+
+TEST(ClosureAnalysis, RestartCapReportsFailure) {
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr(programs::fibSource(5), Ctx, Diags);
+  ASSERT_NE(E, nullptr) << Diags.str();
+  types::TypedProgram T = types::inferTypes(E, Ctx, Diags);
+  ASSERT_TRUE(T.Success) << Diags.str();
+  auto Prog = inferRegions(E, Ctx, T, Diags);
+  ASSERT_NE(Prog, nullptr) << Diags.str();
+
+  ClosureOptions Opts;
+  Opts.UseWorklist = false;
+  Opts.MaxPasses = 1; // a recursive program needs more than one pass
+  ClosureAnalysis CA(*Prog, Opts);
+  EXPECT_FALSE(CA.run());
+  EXPECT_FALSE(CA.converged());
+  EXPECT_NE(CA.error().find("failed to stabilize"), std::string::npos)
+      << CA.error();
+}
+
+TEST(ClosureAnalysis, UnknownContextIsEmptySet) {
+  // Satellite (ISSUE): valuesOf on an unregistered (node, env) pair
+  // returns a genuinely interned empty set, not a function-local static.
+  Analyzed A = analyze("(fn x => x + 1) 2");
+  RegEnvId Bogus = A.CA->envs().intern({{12345, 0}});
+  const FlatSet<AbsClosureId> &V = A.CA->valuesOf(A.Prog->Root->id(), Bogus);
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(A.CA->ctxIndex(A.Prog->Root->id(), Bogus),
+            ClosureAnalysis::NoCtx);
 }
 
 TEST(ClosureAnalysis, ColorsBoundedByScopeSize) {

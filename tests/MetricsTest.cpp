@@ -27,8 +27,8 @@ TEST(Stopwatch, Monotonic) {
 TEST(Stopwatch, ResetRestarts) {
   Stopwatch W;
   // Burn a little time so the pre-reset reading is strictly positive.
-  volatile int Sink = 0;
-  for (int I = 0; I != 100000; ++I)
+  volatile unsigned Sink = 0;
+  for (unsigned I = 0; I != 100000; ++I)
     Sink = Sink + I;
   double Before = W.seconds();
   EXPECT_GT(Before, 0.0);

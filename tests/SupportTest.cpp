@@ -3,6 +3,8 @@
 #include "support/Arena.h"
 #include "support/Diagnostics.h"
 #include "support/SourceLoc.h"
+#include "support/FlatSet.h"
+#include "support/SetInterner.h"
 #include "support/StringInterner.h"
 
 #include <gtest/gtest.h>
@@ -97,6 +99,98 @@ TEST(SourceLoc, Rendering) {
   EXPECT_EQ(SourceLoc().str(), "<unknown>");
   EXPECT_TRUE(SourceLoc(1, 1).isValid());
   EXPECT_FALSE(SourceLoc().isValid());
+}
+
+TEST(FlatSet, InsertKeepsSortedUnique) {
+  FlatSet<uint32_t> S;
+  EXPECT_TRUE(S.insert(5));
+  EXPECT_TRUE(S.insert(1));
+  EXPECT_TRUE(S.insert(9));
+  EXPECT_FALSE(S.insert(5)); // duplicate
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[0], 1u);
+  EXPECT_EQ(S[1], 5u);
+  EXPECT_EQ(S[2], 9u);
+  EXPECT_TRUE(S.contains(9));
+  EXPECT_FALSE(S.contains(2));
+  EXPECT_EQ(S.indexOf(5), 1u);
+  EXPECT_EQ(S.indexOf(2), FlatSet<uint32_t>::npos);
+}
+
+TEST(FlatSet, InsertPosTracksParallelArrays) {
+  FlatSet<uint32_t> S;
+  auto [P1, I1] = S.insertPos(10);
+  EXPECT_TRUE(I1);
+  EXPECT_EQ(P1, 0u);
+  auto [P2, I2] = S.insertPos(5);
+  EXPECT_TRUE(I2);
+  EXPECT_EQ(P2, 0u); // displaces 10
+  auto [P3, I3] = S.insertPos(10);
+  EXPECT_FALSE(I3);
+  EXPECT_EQ(P3, 1u);
+}
+
+TEST(FlatSet, UnionWithReportsGrowth) {
+  FlatSet<uint32_t> A, B;
+  for (uint32_t X : {1u, 3u, 5u})
+    A.insert(X);
+  for (uint32_t X : {3u, 4u})
+    B.insert(X);
+  EXPECT_TRUE(A.unionWith(B));
+  ASSERT_EQ(A.size(), 4u);
+  EXPECT_FALSE(A.unionWith(B)); // B now a subset
+  FlatSet<uint32_t> Tail;
+  Tail.insert(100); // beyond A's max: the append fast path
+  EXPECT_TRUE(A.unionWith(Tail));
+  EXPECT_EQ(A[4], 100u);
+}
+
+TEST(FlatSet, FromSortedWraps) {
+  FlatSet<uint32_t> S = FlatSet<uint32_t>::fromSorted({2, 4, 6});
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.contains(4));
+}
+
+TEST(SetInterner, EmptyIsIdZero) {
+  SetInterner<uint32_t> I;
+  EXPECT_EQ(I.intern(FlatSet<uint32_t>()), SetInterner<uint32_t>::Empty);
+  EXPECT_TRUE(I.get(SetInterner<uint32_t>::Empty).empty());
+  EXPECT_EQ(I.size(), 1u);
+}
+
+TEST(SetInterner, InternDeduplicates) {
+  SetInterner<uint32_t> I;
+  auto A = I.single(7);
+  auto B = I.single(7);
+  EXPECT_EQ(A, B);
+  auto C = I.single(8);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(I.size(), 3u); // empty, {7}, {8}
+}
+
+TEST(SetInterner, UnionIsMemoizedAndCorrect) {
+  SetInterner<uint32_t> I;
+  auto A = I.single(1);
+  auto B = I.single(2);
+  auto U1 = I.unionSets(A, B);
+  auto U2 = I.unionSets(B, A); // commutative, cached
+  EXPECT_EQ(U1, U2);
+  EXPECT_EQ(I.get(U1).size(), 2u);
+  EXPECT_EQ(I.unionSets(U1, A), U1);      // A subset of U1
+  EXPECT_EQ(I.unionSets(A, A), A);        // idempotent
+  EXPECT_EQ(I.unionSets(A, SetInterner<uint32_t>::Empty), A);
+}
+
+TEST(SetInterner, InsertById) {
+  SetInterner<uint32_t> I;
+  auto A = I.single(1);
+  auto B = I.insert(A, 2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(I.get(B).size(), 2u);
+  EXPECT_EQ(I.insert(B, 1), B); // already present
+  EXPECT_EQ(I.insert(B, 2), B);
+  // The memo returns the same id for the same (set, element) pair.
+  EXPECT_EQ(I.insert(A, 2), B);
 }
 
 } // namespace

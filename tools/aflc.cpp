@@ -17,6 +17,8 @@
 ///   --no-freeapp         ablation: disable free_app choice points
 ///   --lexical-alloc      ablation: allocation only at letregion entry
 ///   --lexical-free       ablation: deallocation only at letregion exit
+///   --closure-restart    reference closure fixpoint: whole-program
+///                        restart passes instead of the worklist
 ///   --no-simplify        ablation: solve the raw constraint system
 ///                        (skip union-find collapse + component split)
 ///   --solver-jobs N      worker threads for the per-component solve
@@ -61,6 +63,7 @@ void usage() {
       "  --trace=FILE        write CSV traces\n"
       "  --validate          run structural validators\n"
       "  --no-freeapp --lexical-alloc --lexical-free   ablations\n"
+      "  --closure-restart   reference closure fixpoint (restart mode)\n"
       "  --no-simplify       solve the raw constraint system\n"
       "  --solver-jobs N     threads for the per-component solve\n"
       "  --dump-constraints  print the generated constraint system\n"
@@ -203,6 +206,7 @@ int main(int Argc, char **Argv) {
   std::string Source;
   constraints::GenOptions Gen;
   solver::SolveOptions Solve;
+  closure::ClosureOptions Closure;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -254,6 +258,8 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Solve.Jobs = static_cast<unsigned>(std::atoi(Argv[I]));
+    } else if (Arg == "--closure-restart") {
+      Closure.UseWorklist = false;
     } else if (Arg == "--no-freeapp") {
       Gen.FreeApp = false;
     } else if (Arg == "--lexical-alloc") {
@@ -290,6 +296,7 @@ int main(int Argc, char **Argv) {
   Options.RecordTrace = !TraceFile.empty();
   Options.GenOptions = Gen;
   Options.SolveOptions = Solve;
+  Options.ClosureOptions = Closure;
 
   if (!BatchDir.empty())
     return runBatchMode(BatchDir, Options, Threads, Timings, Metrics,
@@ -331,8 +338,11 @@ int main(int Argc, char **Argv) {
                           .c_str());
 
   if (DumpConstraints) {
-    closure::ClosureAnalysis CA(*R.Prog);
-    CA.run();
+    closure::ClosureAnalysis CA(*R.Prog, Closure);
+    if (!CA.run()) {
+      std::fprintf(stderr, "aflc: %s\n", CA.error().c_str());
+      return 1;
+    }
     constraints::GenResult DGen =
         constraints::generateConstraints(*R.Prog, CA, Gen);
     std::printf("%s", constraints::dumpSystem(DGen).c_str());

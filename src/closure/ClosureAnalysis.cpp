@@ -1,11 +1,28 @@
 #include "closure/ClosureAnalysis.h"
 
+#include "support/CliParse.h"
+#include "support/ThreadPool.h"
+
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 using namespace afl;
 using namespace afl::closure;
 using namespace afl::regions;
+
+unsigned closure::defaultClosureJobs() {
+  // Computed once: the env var is a process-level mode switch (CI runs
+  // the whole suite under AFL_CLOSURE_JOBS=4), not a per-run knob.
+  static unsigned Cached = [] {
+    const char *Env = std::getenv("AFL_CLOSURE_JOBS");
+    unsigned Jobs = 1;
+    if (Env && !parseCliUnsigned(Env, Jobs))
+      Jobs = 1;
+    return Jobs;
+  }();
+  return Cached;
+}
 
 ClosureAnalysis::ClosureAnalysis(const RegionProgram &Prog,
                                  ClosureOptions Options)
@@ -120,7 +137,10 @@ std::set<RegionVarId> ClosureAnalysis::latentOf(const AbsClosure &C) const {
 }
 
 uint32_t ClosureAnalysis::ensureCtx(const RExpr *N, RegEnvId Incoming) {
-  RegEnvId Env = contextEnv(N, Incoming);
+  return registerCtx(N, contextEnv(N, Incoming));
+}
+
+uint32_t ClosureAnalysis::registerCtx(const RExpr *N, RegEnvId Env) {
   RNodeId Node = N->id();
   auto [Pos, Inserted] = NodeEnvs[Node].insertPos(Env);
   std::vector<uint32_t> &Ids = NodeCtxIds[Node];
@@ -491,7 +511,15 @@ void ClosureAnalysis::canonicalize() {
 bool ClosureAnalysis::run() {
   Stats = ClosureStats();
   Stats.UsedWorklist = Options.UseWorklist;
-  bool Ok = Options.UseWorklist ? runWorklist() : runRestart();
+  unsigned Jobs =
+      Options.Jobs ? Options.Jobs : ThreadPool::hardwareThreads();
+  bool Ok;
+  if (!Options.UseWorklist)
+    Ok = runRestart();
+  else if (Jobs > 1)
+    Ok = runParallel(Jobs);
+  else
+    Ok = runWorklist();
   if (Ok)
     canonicalize();
   Stats.Converged = Ok;

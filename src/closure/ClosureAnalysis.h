@@ -54,6 +54,12 @@ struct AbsClosure {
   RegEnvId Env = 0;
 };
 
+/// Default for ClosureOptions::Jobs: the AFL_CLOSURE_JOBS environment
+/// variable if set to a valid non-negative integer (0 = all cores),
+/// otherwise 1 (sequential). The env hook lets the whole test suite run
+/// in parallel-closure mode without touching call sites (CI does this).
+unsigned defaultClosureJobs();
+
 /// Fixpoint configuration.
 struct ClosureOptions {
   /// Dependency-tracked worklist (production) vs. the whole-program
@@ -65,6 +71,15 @@ struct ClosureOptions {
   /// Worklist mode: maximum contexts processed before reporting failure.
   /// 0 derives the cap as MaxPasses * number of IR nodes.
   size_t MaxSteps = 0;
+  /// Worklist mode: maximum concurrent executors for the partitioned
+  /// fixpoint (closure/ParallelFixpoint.cpp). 1 = sequential (default),
+  /// 0 = one per hardware thread, N = at most N. Ignored in restart
+  /// mode. `aflc --closure-jobs N`.
+  unsigned Jobs = defaultClosureJobs();
+  /// Parallel mode: frontiers smaller than this are processed inline on
+  /// the calling thread — partitioning overhead only pays off on wide
+  /// frontiers.
+  size_t ParallelMinFrontier = 16;
 };
 
 /// Work counters for the fixpoint, reported through AflStats →
@@ -85,6 +100,26 @@ struct ClosureStats {
   size_t NumEnvs = 0;
   /// Distinct hash-consed value sets (including the empty set).
   size_t InternedSets = 0;
+
+  // Parallel-mode counters (all 0 when Jobs == 1 or in restart mode).
+  /// Executors the partitioned fixpoint was allowed to use (resolved
+  /// from ClosureOptions::Jobs; 0 when the parallel path never ran).
+  unsigned ThreadsUsed = 0;
+  /// Frontier rounds dispatched to the pool.
+  size_t ParallelRounds = 0;
+  /// Rounds below ParallelMinFrontier, processed inline.
+  size_t InlineRounds = 0;
+  /// Independent frontier partitions summed over all parallel rounds.
+  size_t Partitions = 0;
+  /// Contexts in the largest single partition seen.
+  size_t LargestPartition = 0;
+  /// Helper tasks enqueued to / items executed by pool workers
+  /// (ThreadPool::RunStats, summed over rounds).
+  size_t PoolTasksQueued = 0;
+  size_t PoolItemsStolen = 0;
+  /// Wall time spent inside parallel rounds (partition + dispatch +
+  /// commit), for the `closure:` --timings line and --metrics.
+  double ParallelSeconds = 0.0;
 };
 
 /// Runs the analysis over a finalized region program and exposes the
@@ -161,11 +196,20 @@ private:
   /// New contexts enter the worklist (worklist mode) or set Changed
   /// (restart mode).
   uint32_t ensureCtx(const regions::RExpr *N, RegEnvId Incoming);
+  /// The registration half of ensureCtx: \p Env is already the *context*
+  /// environment. The parallel commit step resolves environments itself
+  /// and registers through this.
+  uint32_t registerCtx(const regions::RExpr *N, RegEnvId Env);
 
   /// Worklist fixpoint: evaluates one context against the current tables,
   /// recording dependency edges as it reads.
   void process(uint32_t C);
   bool runWorklist();
+
+  /// Partitioned worklist fixpoint on the shared thread pool
+  /// (closure/ParallelFixpoint.cpp). \p Jobs is the resolved executor
+  /// count (≥ 2). Same least fixpoint as runWorklist.
+  bool runParallel(unsigned Jobs);
 
   /// Reference restart fixpoint (the seed algorithm, on dense tables).
   SetId analyzeRec(const regions::RExpr *N, RegEnvId Incoming);
@@ -230,6 +274,10 @@ private:
 
   ClosureStats Stats;
   std::string Error;
+
+  /// The partitioned parallel fixpoint reads the frozen tables and
+  /// commits worker overlays through the private mutators.
+  friend class ParallelEngine;
 };
 
 } // namespace closure

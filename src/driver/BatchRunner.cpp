@@ -1,8 +1,8 @@
 #include "driver/BatchRunner.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 using namespace afl;
 using namespace afl::driver;
@@ -28,6 +28,9 @@ void accumulateAnalysis(completion::AflStats &Agg,
   Agg.ExtractSeconds += S.ExtractSeconds;
 }
 
+/// Pointwise sum. Note the per-program peaks (MaxRegions/MaxValues)
+/// become sums-of-peaks here; the true cross-item maxima are tracked
+/// separately by peakRun().
 void accumulateRun(interp::Stats &Agg, const interp::Stats &S) {
   Agg.MaxRegions += S.MaxRegions;
   Agg.TotalRegionAllocs += S.TotalRegionAllocs;
@@ -40,12 +43,19 @@ void accumulateRun(interp::Stats &Agg, const interp::Stats &S) {
   Agg.Time += S.Time;
 }
 
+void peakRun(interp::Stats &Peak, const interp::Stats &S) {
+  Peak.MaxRegions = std::max(Peak.MaxRegions, S.MaxRegions);
+  Peak.MaxValues = std::max(Peak.MaxValues, S.MaxValues);
+}
+
 } // namespace
 
 void BatchItemResult::recordMetrics(MetricsRegistry &Reg) const {
   recordPipelineMetrics(Reg, Stats, Analysis,
                         HasRuns ? &ConservativeStats : nullptr,
                         HasRuns ? &AflStats : nullptr, Ok);
+  if (!Ok && !Error.empty())
+    Reg.setText("error", Error);
 }
 
 void BatchResult::recordMetrics(MetricsRegistry &Reg) const {
@@ -56,9 +66,29 @@ void BatchResult::recordMetrics(MetricsRegistry &Reg) const {
   Reg.addTime("wall_seconds", WallSeconds);
   {
     MetricScope Agg(Reg, "aggregate");
-    recordPipelineMetrics(Reg, AggregateStats, AggregateAnalysis,
-                          HasRuns ? &AggregateConservative : nullptr,
-                          HasRuns ? &AggregateAfl : nullptr, allOk());
+    // Runs are emitted by hand below: in the aggregate interp stats the
+    // peak fields are sums-of-peaks, so the per-item schema's max_*
+    // names would be wrong for them.
+    recordPipelineMetrics(Reg, AggregateStats, AggregateAnalysis, nullptr,
+                          nullptr, allOk());
+    if (HasRuns) {
+      MetricScope Runs(Reg, "runs");
+      auto Run = [&Reg](const char *Name, const interp::Stats &Sum,
+                        const interp::Stats &Peak) {
+        MetricScope Scope(Reg, Name);
+        Reg.set("max_regions", Peak.MaxRegions);
+        Reg.set("max_values", Peak.MaxValues);
+        Reg.set("total_max_regions", Sum.MaxRegions);
+        Reg.set("total_max_values", Sum.MaxValues);
+        Reg.set("region_allocs", Sum.TotalRegionAllocs);
+        Reg.set("value_allocs", Sum.TotalValueAllocs);
+        Reg.set("final_values", Sum.FinalValues);
+        Reg.set("steps", Sum.Steps);
+        Reg.set("memory_ops", Sum.Time);
+      };
+      Run("conservative", AggregateConservative, PeakConservative);
+      Run("afl", AggregateAfl, PeakAfl);
+    }
   }
   {
     MetricScope Programs(Reg, "programs");
@@ -76,50 +106,37 @@ BatchResult driver::runBatch(const std::vector<BatchItem> &Work,
   Out.Items.resize(Work.size());
 
   if (Threads == 0)
-    Threads = std::thread::hardware_concurrency();
-  if (Threads == 0)
-    Threads = 1;
+    Threads = ThreadPool::hardwareThreads();
   Threads = static_cast<unsigned>(
       std::min<size_t>(Threads, std::max<size_t>(Work.size(), 1)));
   Out.Threads = Threads;
 
   Stopwatch Wall;
-  std::atomic<size_t> Next{0};
 
-  // Workers claim indices from a shared counter; each writes only its
-  // own slot of Out.Items, so no further synchronization is needed.
-  auto Worker = [&] {
-    for (;;) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Work.size())
-        return;
-      BatchItemResult &Item = Out.Items[I];
-      Item.Name = Work[I].Name;
-      PipelineResult R = runPipeline(Work[I].Source, Options);
-      Item.Ok = R.ok();
-      Item.Stats = R.Stats;
-      Item.Analysis = R.Analysis;
-      if (!R.ok())
-        Item.Error = R.Diags.str();
-      if (R.Conservative.Ok && R.Afl.Ok) {
-        Item.HasRuns = true;
-        Item.ConservativeStats = R.Conservative.S;
-        Item.AflStats = R.Afl.S;
-        Item.ResultText = R.Afl.ResultText;
-      }
+  // Each call writes only its own slot of Out.Items, so no further
+  // synchronization is needed.
+  ThreadPool::global().parallelFor(Work.size(), Threads, [&](size_t I) {
+    BatchItemResult &Item = Out.Items[I];
+    Item.Name = Work[I].Name;
+    if (!Work[I].LoadError.empty()) {
+      // Item never loaded: record the loader's error as a failed
+      // result; the rest of the batch is unaffected.
+      Item.Error = Work[I].LoadError;
+      return;
     }
-  };
-
-  if (Threads == 1) {
-    Worker();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Threads);
-    for (unsigned T = 0; T != Threads; ++T)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+    PipelineResult R = runPipeline(Work[I].Source, Options);
+    Item.Ok = R.ok();
+    Item.Stats = R.Stats;
+    Item.Analysis = R.Analysis;
+    if (!R.ok())
+      Item.Error = R.Diags.str();
+    if (R.Conservative.Ok && R.Afl.Ok) {
+      Item.HasRuns = true;
+      Item.ConservativeStats = R.Conservative.S;
+      Item.AflStats = R.Afl.S;
+      Item.ResultText = R.Afl.ResultText;
+    }
+  });
 
   Out.WallSeconds = Wall.seconds();
   for (const BatchItemResult &Item : Out.Items) {
@@ -133,6 +150,8 @@ BatchResult driver::runBatch(const std::vector<BatchItem> &Work,
       Out.HasRuns = true;
       accumulateRun(Out.AggregateConservative, Item.ConservativeStats);
       accumulateRun(Out.AggregateAfl, Item.AflStats);
+      peakRun(Out.PeakConservative, Item.ConservativeStats);
+      peakRun(Out.PeakAfl, Item.AflStats);
     }
   }
   return Out;

@@ -20,10 +20,14 @@
 namespace afl {
 namespace driver {
 
-/// One unit of batch work: a named source program.
+/// One unit of batch work: a named source program. An item whose source
+/// could not be loaded carries the loader's error in \c LoadError; the
+/// batch records it as a failed result without running the pipeline —
+/// per-item isolation covers I/O failures, not just pipeline failures.
 struct BatchItem {
   std::string Name;
   std::string Source;
+  std::string LoadError;
 };
 
 /// Summary of one pipeline run inside a batch. Deliberately does not
@@ -56,11 +60,18 @@ struct BatchResult {
   unsigned Threads = 0;
   /// End-to-end wall time of the batch (not the sum of per-item times).
   double WallSeconds = 0;
-  /// Pointwise sums over all items.
+  /// Pointwise sums over all items. In the aggregate interp stats the
+  /// per-program peak fields (MaxRegions/MaxValues) are *sums of peaks*
+  /// — reported as `total_*` in the metrics JSON; the true cross-item
+  /// maxima live in the Peak fields below and are what `max_*` means.
   PipelineStats AggregateStats;
   completion::AflStats AggregateAnalysis;
   interp::Stats AggregateConservative;
   interp::Stats AggregateAfl;
+  /// True maxima of MaxRegions/MaxValues across items (other fields
+  /// unused).
+  interp::Stats PeakConservative;
+  interp::Stats PeakAfl;
   bool HasRuns = false;
 
   /// True when every item succeeded.

@@ -2,12 +2,12 @@
 
 #include "solver/Components.h"
 #include "support/Metrics.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
-#include <thread>
 
 using namespace afl;
 using namespace afl::solver;
@@ -317,35 +317,21 @@ SolveResult SolverImpl::run() {
 bool solveComponents(const ComponentSplit &Split,
                      std::vector<SolveResult> &Results, unsigned Jobs) {
   Results.resize(Split.Comps.size());
-  std::atomic<size_t> Next{0};
   std::atomic<bool> Failed{false};
 
-  auto Worker = [&] {
-    for (;;) {
-      if (Failed.load(std::memory_order_relaxed))
-        return;
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Split.Comps.size())
-        return;
-      SolverImpl S(Split.Comps[I].Sys);
-      Results[I] = S.run();
-      if (!Results[I].Sat)
-        Failed.store(true, std::memory_order_relaxed);
-    }
-  };
-
-  if (Jobs <= 1 || Split.Comps.size() <= 1) {
-    Worker();
-  } else {
-    unsigned N = static_cast<unsigned>(
-        std::min<size_t>(Jobs, Split.Comps.size()));
-    std::vector<std::thread> Pool;
-    Pool.reserve(N);
-    for (unsigned T = 0; T != N; ++T)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  // Shared-pool fan-out (support/ThreadPool.h): each item writes only
+  // its own Results slot. Once any component is unsatisfiable the
+  // remaining items early-out (their slots stay default, Sat == false,
+  // and are never read — solve() returns Unsat immediately).
+  ThreadPool::global().parallelFor(
+      Split.Comps.size(), Jobs <= 1 ? 1 : Jobs, [&](size_t I) {
+        if (Failed.load(std::memory_order_relaxed))
+          return;
+        SolverImpl S(Split.Comps[I].Sys);
+        Results[I] = S.run();
+        if (!Results[I].Sat)
+          Failed.store(true, std::memory_order_relaxed);
+      });
   return !Failed.load(std::memory_order_relaxed);
 }
 
@@ -375,9 +361,7 @@ SolveResult solver::solve(const ConstraintSystem &Sys,
 
   unsigned Jobs = Options.Jobs;
   if (Jobs == 0)
-    Jobs = std::thread::hardware_concurrency();
-  if (Jobs == 0)
-    Jobs = 1;
+    Jobs = ThreadPool::hardwareThreads();
   if (Simp.Residual.numConstraints() < Options.ParallelMinConstraints)
     Jobs = 1;
 

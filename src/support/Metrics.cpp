@@ -10,12 +10,13 @@ using namespace afl;
 //===----------------------------------------------------------------------===//
 
 struct MetricsRegistry::Node {
-  enum class Kind { Scope, Counter, Timer };
+  enum class Kind { Scope, Counter, Timer, Text };
 
   std::string Name;
   Kind NodeKind = Kind::Scope;
   uint64_t Count = 0;
   double Seconds = 0;
+  std::string Text;
   /// Children in insertion order (scopes and leaves interleaved).
   std::vector<std::unique_ptr<Node>> Children;
 
@@ -72,6 +73,10 @@ void MetricsRegistry::addTime(std::string_view Name, double Seconds) {
   Stack.back()->child(Name, Node::Kind::Timer)->Seconds += Seconds;
 }
 
+void MetricsRegistry::setText(std::string_view Name, std::string_view Value) {
+  Stack.back()->child(Name, Node::Kind::Text)->Text = std::string(Value);
+}
+
 const MetricsRegistry::Node *
 MetricsRegistry::find(std::string_view Path) const {
   const Node *N = Root.get();
@@ -96,6 +101,11 @@ double MetricsRegistry::timer(std::string_view Path) const {
   return N && N->NodeKind == Node::Kind::Timer ? N->Seconds : 0.0;
 }
 
+std::string MetricsRegistry::text(std::string_view Path) const {
+  const Node *N = find(Path);
+  return N && N->NodeKind == Node::Kind::Text ? N->Text : std::string();
+}
+
 bool MetricsRegistry::has(std::string_view Path) const {
   return find(Path) != nullptr;
 }
@@ -108,6 +118,9 @@ void MetricsRegistry::merge(const MetricsRegistry &Other) {
         Node *D = Dst->child(C->Name, C->NodeKind);
         D->Count += C->Count;
         D->Seconds += C->Seconds;
+        // Text has no meaningful sum; first non-empty value wins.
+        if (D->Text.empty())
+          D->Text = C->Text;
         run(D, C.get());
       }
     }
@@ -204,6 +217,11 @@ std::string MetricsRegistry::json(bool Pretty) const {
           break;
         case Node::Kind::Timer:
           Out += formatSeconds(C->Seconds);
+          break;
+        case Node::Kind::Text:
+          Out += '"';
+          Out += MetricsRegistry::escapeJson(C->Text);
+          Out += '"';
           break;
         }
       }

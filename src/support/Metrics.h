@@ -81,6 +81,9 @@ public:
   void set(std::string_view Name, uint64_t Value);
   /// Adds \p Seconds to timer \p Name (created at zero on first use).
   void addTime(std::string_view Name, double Seconds);
+  /// Sets text leaf \p Name to \p Value (rendered as a JSON string;
+  /// used for per-item error messages in batch output).
+  void setText(std::string_view Name, std::string_view Value);
 
   //===------------------------------------------------------------------===//
   // Consumers (addressed by '/'-separated path from the root)
@@ -91,6 +94,8 @@ public:
   uint64_t counter(std::string_view Path) const;
   /// Value of the timer at \p Path, or 0.0 if absent.
   double timer(std::string_view Path) const;
+  /// Value of the text leaf at \p Path, or "" if absent.
+  std::string text(std::string_view Path) const;
   /// True if any metric or scope exists at \p Path.
   bool has(std::string_view Path) const;
 

@@ -1,0 +1,139 @@
+#include "support/ThreadPool.h"
+
+#include <atomic>
+
+namespace afl {
+
+/// One fork/join region, shared (via shared_ptr) between the caller and
+/// any helper tasks still sitting in the queue. The caller waits for
+/// *item completions*, not for helper tasks: a helper that only gets
+/// scheduled after the items are exhausted claims nothing, touches
+/// neither Fn nor the caller's stack, and simply drops its reference.
+/// This is what makes nested parallelFor deadlock-free — an inner call
+/// never depends on its queued helpers actually running.
+struct ThreadPool::Batch {
+  size_t Items = 0;
+  std::function<void(size_t)> const *Fn = nullptr;
+  std::atomic<size_t> Next{0};
+  std::atomic<size_t> Completed{0};
+  std::atomic<size_t> CallerRan{0};
+  std::atomic<size_t> WorkerRan{0};
+  std::atomic<unsigned> Engaged{0};
+  std::mutex DoneMutex;
+  std::condition_variable DoneCV;
+};
+
+void ThreadPool::drain(Batch &B, bool IsCaller) {
+  size_t Ran = 0;
+  for (;;) {
+    size_t I = B.Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= B.Items)
+      break;
+    (*B.Fn)(I);
+    if (++Ran == 1)
+      B.Engaged.fetch_add(1, std::memory_order_relaxed);
+    if (IsCaller)
+      B.CallerRan.fetch_add(1, std::memory_order_relaxed);
+    else
+      B.WorkerRan.fetch_add(1, std::memory_order_relaxed);
+    // Last of all: the acq_rel increment publishes both the item's
+    // effects and the counters above before the caller can observe
+    // Completed == Items and return.
+    if (B.Completed.fetch_add(1, std::memory_order_acq_rel) + 1 == B.Items) {
+      std::lock_guard<std::mutex> Lock(B.DoneMutex);
+      B.DoneCV.notify_all();
+    }
+  }
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Shutdown = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCV.wait(Lock, [this] { return Shutdown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Shutdown with a drained queue.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+ThreadPool::RunStats
+ThreadPool::parallelFor(size_t Items, unsigned MaxWorkers,
+                        const std::function<void(size_t)> &Fn) {
+  RunStats Stats;
+  Stats.Items = Items;
+  if (Items == 0)
+    return Stats;
+
+  auto B = std::make_shared<Batch>();
+  B->Items = Items;
+  B->Fn = &Fn;
+
+  // Helpers beyond the caller: bounded by the request, the pool size,
+  // and the number of items (a helper with nothing to claim is waste).
+  unsigned Executors = MaxWorkers == 0 ? numThreads() + 1 : MaxWorkers;
+  size_t Helpers = Executors > 1 ? Executors - 1 : 0;
+  Helpers = std::min(Helpers, static_cast<size_t>(numThreads()));
+  Helpers = std::min(Helpers, Items > 1 ? Items - 1 : 0);
+
+  if (Helpers) {
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      for (size_t I = 0; I < Helpers; ++I)
+        Queue.emplace_back([B] { drain(*B, /*IsCaller=*/false); });
+    }
+    if (Helpers == 1)
+      QueueCV.notify_one();
+    else
+      QueueCV.notify_all();
+    Stats.TasksQueued = Helpers;
+  }
+
+  drain(*B, /*IsCaller=*/true);
+
+  if (B->Completed.load(std::memory_order_acquire) < Items) {
+    std::unique_lock<std::mutex> Lock(B->DoneMutex);
+    B->DoneCV.wait(Lock, [&] {
+      return B->Completed.load(std::memory_order_acquire) >= Items;
+    });
+  }
+
+  Stats.RanByCaller = B->CallerRan.load(std::memory_order_relaxed);
+  Stats.RanByWorkers = B->WorkerRan.load(std::memory_order_relaxed);
+  Stats.WorkersEngaged = B->Engaged.load(std::memory_order_relaxed);
+  return Stats;
+}
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool &ThreadPool::global() {
+  // Leaked intentionally: joining workers during static destruction
+  // races with other static teardown; the OS reclaims the threads.
+  static ThreadPool *Pool = new ThreadPool(hardwareThreads() - 1);
+  return *Pool;
+}
+
+} // namespace afl

@@ -1,0 +1,67 @@
+// Tests for the strict CLI numeric parser behind aflc's -j /
+// --solver-jobs / --closure-jobs / @builtin N arguments: a count either
+// parses as a plain base-10 unsigned integer or it is a usage error —
+// never atoi's silent 0 / prefix salvage.
+
+#include "support/CliParse.h"
+
+#include <gtest/gtest.h>
+
+using namespace afl;
+
+namespace {
+
+TEST(CliParse, AcceptsPlainUnsignedIntegers) {
+  unsigned V = 99;
+  EXPECT_TRUE(parseCliUnsigned("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseCliUnsigned("1", V));
+  EXPECT_EQ(V, 1u);
+  EXPECT_TRUE(parseCliUnsigned("48", V));
+  EXPECT_EQ(V, 48u);
+  EXPECT_TRUE(parseCliUnsigned("4294967295", V));
+  EXPECT_EQ(V, 4294967295u);
+}
+
+TEST(CliParse, RejectsNonNumeric) {
+  unsigned V = 7;
+  EXPECT_FALSE(parseCliUnsigned("bogus", V));
+  EXPECT_FALSE(parseCliUnsigned("", V));
+  EXPECT_FALSE(parseCliUnsigned(" ", V));
+  EXPECT_FALSE(parseCliUnsigned("x4", V));
+  EXPECT_EQ(V, 7u) << "output must be untouched on failure";
+}
+
+TEST(CliParse, RejectsTrailingGarbage) {
+  unsigned V = 7;
+  EXPECT_FALSE(parseCliUnsigned("1x", V));
+  EXPECT_FALSE(parseCliUnsigned("2 ", V));
+  EXPECT_FALSE(parseCliUnsigned("3.0", V));
+  EXPECT_FALSE(parseCliUnsigned("4,", V));
+  EXPECT_EQ(V, 7u);
+}
+
+TEST(CliParse, RejectsSigns) {
+  unsigned V = 7;
+  EXPECT_FALSE(parseCliUnsigned("-3", V));
+  EXPECT_FALSE(parseCliUnsigned("+3", V));
+  EXPECT_FALSE(parseCliUnsigned("-0", V));
+  EXPECT_EQ(V, 7u);
+}
+
+TEST(CliParse, RejectsOverflow) {
+  unsigned V = 7;
+  EXPECT_FALSE(parseCliUnsigned("4294967296", V)); // UINT_MAX + 1
+  EXPECT_FALSE(parseCliUnsigned("99999999999999999999", V));
+  EXPECT_EQ(V, 7u);
+}
+
+TEST(CliParse, RejectsWhitespaceAndBasePrefixes) {
+  unsigned V = 7;
+  EXPECT_FALSE(parseCliUnsigned(" 1", V));
+  EXPECT_FALSE(parseCliUnsigned("0x10", V));
+  EXPECT_FALSE(parseCliUnsigned("1e3", V));
+  EXPECT_EQ(V, 7u);
+}
+
+} // namespace

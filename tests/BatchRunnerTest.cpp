@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace afl;
 
 namespace {
@@ -14,7 +16,7 @@ namespace {
 std::vector<driver::BatchItem> corpusWork() {
   std::vector<driver::BatchItem> Work;
   for (const programs::BenchProgram &P : programs::smallCorpus())
-    Work.push_back({P.Name, P.Source});
+    Work.push_back({P.Name, P.Source, ""});
   return Work;
 }
 
@@ -52,10 +54,10 @@ TEST(BatchRunner, ParallelMatchesSequential) {
 
 TEST(BatchRunner, FailuresAreIsolated) {
   std::vector<driver::BatchItem> Work = {
-      {"good1", "1 + 2"},
-      {"bad-parse", "let x = in x end"},
-      {"bad-type", "1 + true"},
-      {"good2", "letrec f n = if n = 0 then 0 else f (n - 1) in f 3 end"},
+      {"good1", "1 + 2", ""},
+      {"bad-parse", "let x = in x end", ""},
+      {"bad-type", "1 + true", ""},
+      {"good2", "letrec f n = if n = 0 then 0 else f (n - 1) in f 3 end", ""},
   };
   driver::BatchResult B = driver::runBatch(Work, driver::PipelineOptions(), 2);
   ASSERT_EQ(B.Items.size(), 4u);
@@ -92,8 +94,8 @@ TEST(BatchRunner, AggregatesSumPerItemStats) {
 
 TEST(BatchRunner, MetricsEmissionIsValidAndComplete) {
   std::vector<driver::BatchItem> Work = {
-      {"a.afl", "1 + 2"},
-      {"b.afl", "(let z = (2, 3) in fn y => (fst z, y) end) 5"},
+      {"a.afl", "1 + 2", ""},
+      {"b.afl", "(let z = (2, 3) in fn y => (fst z, y) end) 5", ""},
   };
   driver::BatchResult B = driver::runBatch(Work, driver::PipelineOptions(), 2);
   MetricsRegistry Reg;
@@ -105,6 +107,70 @@ TEST(BatchRunner, MetricsEmissionIsValidAndComplete) {
   EXPECT_TRUE(Reg.has("programs/b.afl/runs/afl"));
   EXPECT_EQ(Reg.counter("programs/b.afl/ok"), 1u);
   EXPECT_GT(Reg.timer("aggregate/total_seconds"), 0.0);
+}
+
+TEST(BatchRunner, LoadErrorItemFailsWithoutAbortingBatch) {
+  std::vector<driver::BatchItem> Work = {
+      {"good", "1 + 2", ""},
+      {"missing.afl", "", "cannot open 'missing.afl'"},
+      {"also-good", "2 * 21", ""},
+  };
+  driver::BatchResult B = driver::runBatch(Work, driver::PipelineOptions(), 2);
+  ASSERT_EQ(B.Items.size(), 3u);
+  EXPECT_EQ(B.NumOk, 2u);
+  EXPECT_EQ(B.NumFailed, 1u);
+  EXPECT_FALSE(B.allOk());
+  EXPECT_TRUE(B.Items[0].Ok);
+  EXPECT_FALSE(B.Items[1].Ok);
+  // The loader's message is the item's error, and the pipeline never ran
+  // for it (no runs, zero stats).
+  EXPECT_EQ(B.Items[1].Error, "cannot open 'missing.afl'");
+  EXPECT_FALSE(B.Items[1].HasRuns);
+  EXPECT_EQ(B.Items[1].Stats.AstNodes, 0u);
+  EXPECT_TRUE(B.Items[2].Ok);
+  EXPECT_EQ(B.Items[2].ResultText, "42");
+
+  MetricsRegistry Reg;
+  B.recordMetrics(Reg);
+  EXPECT_EQ(Reg.counter("failed"), 1u);
+  EXPECT_EQ(Reg.counter("programs/missing.afl/ok"), 0u);
+  EXPECT_EQ(Reg.text("programs/missing.afl/error"),
+            "cannot open 'missing.afl'");
+}
+
+TEST(BatchRunner, AggregateRunsReportTrueMaximaAndSums) {
+  // Two programs with different footprints: the aggregate max_* must be
+  // the larger per-item peak, not the sum of both peaks.
+  std::vector<driver::BatchItem> Work = {
+      {"small", "1 + 2", ""},
+      {"big", "letrec f n = if n = 0 then nil else n :: f (n - 1) "
+              "in f 20 end",
+       ""},
+  };
+  driver::BatchResult B = driver::runBatch(Work, driver::PipelineOptions(), 2);
+  ASSERT_TRUE(B.allOk());
+  ASSERT_TRUE(B.HasRuns);
+
+  uint64_t PeakAfl = 0, SumAfl = 0, PeakCons = 0, SumCons = 0;
+  for (const driver::BatchItemResult &Item : B.Items) {
+    PeakAfl = std::max(PeakAfl, Item.AflStats.MaxValues);
+    SumAfl += Item.AflStats.MaxValues;
+    PeakCons = std::max(PeakCons, Item.ConservativeStats.MaxValues);
+    SumCons += Item.ConservativeStats.MaxValues;
+  }
+  ASSERT_LT(PeakAfl, SumAfl); // both items contribute, so max != sum
+  EXPECT_EQ(B.PeakAfl.MaxValues, PeakAfl);
+  EXPECT_EQ(B.AggregateAfl.MaxValues, SumAfl);
+  EXPECT_EQ(B.PeakConservative.MaxValues, PeakCons);
+  EXPECT_EQ(B.AggregateConservative.MaxValues, SumCons);
+
+  MetricsRegistry Reg;
+  B.recordMetrics(Reg);
+  EXPECT_EQ(Reg.counter("aggregate/runs/afl/max_values"), PeakAfl);
+  EXPECT_EQ(Reg.counter("aggregate/runs/afl/total_max_values"), SumAfl);
+  EXPECT_EQ(Reg.counter("aggregate/runs/conservative/max_values"), PeakCons);
+  EXPECT_EQ(Reg.counter("aggregate/runs/conservative/total_max_values"),
+            SumCons);
 }
 
 TEST(BatchRunner, EmptyBatch) {

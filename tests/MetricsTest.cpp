@@ -139,6 +139,45 @@ TEST(Metrics, JsonShapeAndOrder) {
             std::string::npos);
 }
 
+TEST(Metrics, TextLeaves) {
+  MetricsRegistry Reg;
+  Reg.push("programs");
+  Reg.push("bad.afl");
+  Reg.setText("error", "cannot open 'bad.afl'\nline \"two\"");
+  Reg.pop();
+  Reg.pop();
+  EXPECT_EQ(Reg.text("programs/bad.afl/error"),
+            "cannot open 'bad.afl'\nline \"two\"");
+  EXPECT_EQ(Reg.text("programs/bad.afl/missing"), "");
+  // JSON renders the value as an escaped string.
+  EXPECT_EQ(Reg.json(/*Pretty=*/false),
+            "{\"programs\":{\"bad.afl\":{\"error\":\"cannot open "
+            "'bad.afl'\\nline \\\"two\\\"\"}}}");
+  // setText overwrites (no accumulation semantics).
+  Reg.push("programs");
+  Reg.push("bad.afl");
+  Reg.setText("error", "later");
+  Reg.pop();
+  Reg.pop();
+  EXPECT_EQ(Reg.text("programs/bad.afl/error"), "later");
+}
+
+TEST(Metrics, MergeKeepsFirstNonEmptyText) {
+  MetricsRegistry A;
+  A.setText("note", "");
+  MetricsRegistry B;
+  B.setText("note", "from b");
+  B.setText("only_b", "kept");
+  A.merge(B);
+  EXPECT_EQ(A.text("note"), "from b");
+  EXPECT_EQ(A.text("only_b"), "kept");
+
+  MetricsRegistry C;
+  C.setText("note", "from c");
+  A.merge(C);
+  EXPECT_EQ(A.text("note"), "from b") << "first non-empty value wins";
+}
+
 TEST(Metrics, JsonEmptyRegistry) {
   MetricsRegistry Reg;
   EXPECT_EQ(Reg.json(/*Pretty=*/false), "{}");

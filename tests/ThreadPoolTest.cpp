@@ -1,0 +1,121 @@
+// Tests for the shared worker pool: every item runs exactly once, the
+// caller always participates, zero-worker pools degrade to inline
+// execution, nesting cannot deadlock, and the run stats add up.
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace afl;
+
+namespace {
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool Pool(3);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<unsigned>> Hits(N);
+  ThreadPool::RunStats S = Pool.parallelFor(
+      N, 0, [&](size_t I) { Hits[I].fetch_add(1, std::memory_order_relaxed); });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << I;
+  EXPECT_EQ(S.Items, N);
+  EXPECT_EQ(S.RanByCaller + S.RanByWorkers, N);
+  EXPECT_GE(S.WorkersEngaged, 1u);
+  EXPECT_LE(S.TasksQueued, Pool.numThreads());
+}
+
+TEST(ThreadPool, ZeroItemsIsANoop) {
+  ThreadPool Pool(2);
+  bool Ran = false;
+  ThreadPool::RunStats S =
+      Pool.parallelFor(0, 0, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+  EXPECT_EQ(S.Items, 0u);
+  EXPECT_EQ(S.TasksQueued, 0u);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInlineOnCaller) {
+  ThreadPool Pool(0);
+  constexpr size_t N = 64;
+  std::atomic<size_t> Count{0};
+  std::thread::id Caller = std::this_thread::get_id();
+  bool AllOnCaller = true;
+  ThreadPool::RunStats S = Pool.parallelFor(N, 0, [&](size_t) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    if (std::this_thread::get_id() != Caller)
+      AllOnCaller = false;
+  });
+  EXPECT_EQ(Count.load(), N);
+  EXPECT_TRUE(AllOnCaller);
+  EXPECT_EQ(S.RanByCaller, N);
+  EXPECT_EQ(S.RanByWorkers, 0u);
+  EXPECT_EQ(S.TasksQueued, 0u);
+  EXPECT_EQ(S.WorkersEngaged, 1u);
+}
+
+TEST(ThreadPool, MaxWorkersOneIsSequential) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 32;
+  // With one executor the caller runs everything in index order.
+  std::vector<size_t> Order;
+  ThreadPool::RunStats S =
+      Pool.parallelFor(N, 1, [&](size_t I) { Order.push_back(I); });
+  ASSERT_EQ(Order.size(), N);
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Order[I], I);
+  EXPECT_EQ(S.RanByCaller, N);
+  EXPECT_EQ(S.TasksQueued, 0u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Every outer item issues an inner parallelFor on the same pool. With
+  // a tiny pool this saturates the workers; the caller-participates
+  // design must still drain everything.
+  ThreadPool Pool(2);
+  constexpr size_t Outer = 8, Inner = 50;
+  std::atomic<size_t> Total{0};
+  Pool.parallelFor(Outer, 0, [&](size_t) {
+    Pool.parallelFor(Inner, 0, [&](size_t) {
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Total.load(), Outer * Inner);
+}
+
+TEST(ThreadPool, DeeplyNestedOnGlobalPool) {
+  std::atomic<size_t> Total{0};
+  ThreadPool::global().parallelFor(4, 0, [&](size_t) {
+    ThreadPool::global().parallelFor(4, 0, [&](size_t) {
+      ThreadPool::global().parallelFor(4, 0, [&](size_t) {
+        Total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(Total.load(), 64u);
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+  EXPECT_EQ(ThreadPool::global().numThreads(),
+            ThreadPool::hardwareThreads() - 1);
+}
+
+TEST(ThreadPool, StatsCountersAreConsistentUnderRepetition) {
+  ThreadPool Pool(2);
+  for (int Round = 0; Round != 50; ++Round) {
+    std::atomic<size_t> Count{0};
+    ThreadPool::RunStats S = Pool.parallelFor(
+        17, 0,
+        [&](size_t) { Count.fetch_add(1, std::memory_order_relaxed); });
+    ASSERT_EQ(Count.load(), 17u);
+    ASSERT_EQ(S.RanByCaller + S.RanByWorkers, 17u);
+    ASSERT_GE(S.WorkersEngaged, 1u);
+    ASSERT_LE(S.WorkersEngaged, 3u); // caller + 2 workers
+  }
+}
+
+} // namespace

@@ -23,6 +23,9 @@
 ///                        (skip union-find collapse + component split)
 ///   --solver-jobs N      worker threads for the per-component solve
 ///                        (0 = all cores, 1 = sequential)
+///   --closure-jobs N     worker threads for the closure analysis
+///                        (0 = all cores, 1 = sequential worklist;
+///                        default: $AFL_CLOSURE_JOBS or 1)
 ///   --no-run             analysis only (skip the instrumented runs)
 ///   --timings            print the per-stage wall-time table
 ///   --metrics[=FILE]     emit per-stage metrics as JSON (stdout or FILE)
@@ -39,6 +42,7 @@
 #include "programs/Corpus.h"
 #include "regions/RegionPrinter.h"
 #include "regions/Validator.h"
+#include "support/CliParse.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -66,11 +70,28 @@ void usage() {
       "  --closure-restart   reference closure fixpoint (restart mode)\n"
       "  --no-simplify       solve the raw constraint system\n"
       "  --solver-jobs N     threads for the per-component solve\n"
+      "  --closure-jobs N    threads for the closure analysis\n"
       "  --dump-constraints  print the generated constraint system\n"
       "  --no-run            skip instrumented runs\n"
       "  --timings           per-stage wall-time table\n"
       "  --metrics[=FILE]    per-stage metrics as JSON\n"
       "  --batch DIR [-j N]  run every .afl file under DIR concurrently\n");
+}
+
+/// Strictly parses the numeric argument \p Text of \p Flag. Anything
+/// other than a plain base-10 unsigned integer ("bogus", "1x", "-3",
+/// "") is a usage error: print a diagnostic + usage and exit 2.
+unsigned parseJobsArg(const char *Flag, const char *Text) {
+  unsigned Value = 0;
+  if (!parseCliUnsigned(Text, Value)) {
+    std::fprintf(stderr,
+                 "aflc: invalid value '%s' for %s (expected a "
+                 "non-negative integer)\n",
+                 Text, Flag);
+    usage();
+    std::exit(2);
+  }
+  return Value;
 }
 
 std::string builtinSource(const std::string &Name, int N) {
@@ -121,15 +142,21 @@ int runBatchMode(const std::string &Dir, const driver::PipelineOptions &Options,
        fs::recursive_directory_iterator(Dir, EC)) {
     if (!Entry.is_regular_file() || Entry.path().extension() != ".afl")
       continue;
+    std::string Name = fs::relative(Entry.path(), Dir).string();
     std::ifstream In(Entry.path());
     if (!In) {
-      std::fprintf(stderr, "aflc: cannot open '%s'\n",
-                   Entry.path().c_str());
-      return 1;
+      // Per-item isolation: an unreadable file becomes a failed batch
+      // item (visible in the summary row and metrics JSON); the rest of
+      // the batch still runs.
+      driver::BatchItem Item;
+      Item.Name = std::move(Name);
+      Item.LoadError = "cannot open '" + Entry.path().string() + "'";
+      Work.push_back(std::move(Item));
+      continue;
     }
     std::ostringstream SS;
     SS << In.rdbuf();
-    Work.push_back({fs::relative(Entry.path(), Dir).string(), SS.str()});
+    Work.push_back({std::move(Name), SS.str(), ""});
   }
   if (EC) {
     std::fprintf(stderr, "aflc: cannot read directory '%s': %s\n",
@@ -246,10 +273,9 @@ int main(int Argc, char **Argv) {
         usage();
         return 2;
       }
-      Threads = static_cast<unsigned>(std::atoi(Argv[I]));
-    } else if (Arg.rfind("-j", 0) == 0 && Arg.size() > 2 &&
-               isdigit(static_cast<unsigned char>(Arg[2]))) {
-      Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 2));
+      Threads = parseJobsArg("-j", Argv[I]);
+    } else if (Arg.rfind("-j", 0) == 0 && Arg.size() > 2) {
+      Threads = parseJobsArg("-j", Arg.c_str() + 2);
     } else if (Arg == "--no-simplify") {
       Solve.Simplify = false;
     } else if (Arg == "--solver-jobs") {
@@ -257,7 +283,13 @@ int main(int Argc, char **Argv) {
         usage();
         return 2;
       }
-      Solve.Jobs = static_cast<unsigned>(std::atoi(Argv[I]));
+      Solve.Jobs = parseJobsArg("--solver-jobs", Argv[I]);
+    } else if (Arg == "--closure-jobs") {
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      Closure.Jobs = parseJobsArg("--closure-jobs", Argv[I]);
     } else if (Arg == "--closure-restart") {
       Closure.UseWorklist = false;
     } else if (Arg == "--no-freeapp") {
@@ -281,8 +313,12 @@ int main(int Argc, char **Argv) {
       Source = SS.str();
     } else if (!Arg.empty() && Arg[0] == '@') {
       int N = 10;
-      if (I + 1 < Argc && isdigit(static_cast<unsigned char>(Argv[I + 1][0])))
-        N = std::atoi(Argv[++I]);
+      if (I + 1 < Argc &&
+          isdigit(static_cast<unsigned char>(Argv[I + 1][0]))) {
+        // Looks numeric, so it must parse cleanly ("2x" is an error,
+        // not silently 2).
+        N = static_cast<int>(parseJobsArg(Arg.c_str(), Argv[++I]));
+      }
       Source = builtinSource(Arg, N);
     } else if (Arg == "--help" || Arg == "-h") {
       usage();

@@ -222,6 +222,43 @@ void BM_ConstraintGen(benchmark::State &State) {
 }
 BENCHMARK(BM_ConstraintGen)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
 
+/// Combined generation+solve with emission-time sharding: the system is
+/// regenerated every iteration, so the measurement includes the
+/// incremental union-find tracking and the shard finalization that the
+/// sharded solve path consumes (no component discovery at solve time).
+/// Compare against BM_CongenMonolithic — same generation, but the solve
+/// ignores the shards and runs the monolithic simplify+count path.
+void congenSeries(benchmark::State &State, bool UseShards) {
+  std::string Src = chainProgram(static_cast<int>(State.range(0)));
+  auto F = frontend(Src);
+  auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+  closure::ClosureAnalysis CA(*Prog);
+  CA.run();
+  solver::SolveOptions Options;
+  Options.Jobs = 1;
+  Options.UseShards = UseShards;
+  size_t Shards = 0, Largest = 0;
+  for (auto _ : State) {
+    constraints::GenResult Gen = constraints::generateConstraints(*Prog, CA);
+    solver::SolveResult Sol = solver::solve(Gen.Sys, Options);
+    benchmark::DoNotOptimize(Sol.Sat);
+    Shards = Gen.Sharding.Shards;
+    Largest = Gen.Sharding.LargestShardConstraints;
+  }
+  State.counters["shards"] = static_cast<double>(Shards);
+  State.counters["largest_shard"] = static_cast<double>(Largest);
+}
+
+void BM_CongenSharded(benchmark::State &State) {
+  congenSeries(State, /*UseShards=*/true);
+}
+BENCHMARK(BM_CongenSharded)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+
+void BM_CongenMonolithic(benchmark::State &State) {
+  congenSeries(State, /*UseShards=*/false);
+}
+BENCHMARK(BM_CongenMonolithic)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+
 void BM_ConstraintGenAndSolve(benchmark::State &State) {
   std::string Src = chainProgram(static_cast<int>(State.range(0)));
   auto F = frontend(Src);
@@ -267,14 +304,17 @@ void solveSeries(benchmark::State &State,
       return;
     std::printf("# solve-reduction K=%ld: %zu state vars -> %zu, "
                 "%zu constraints -> %zu (ratio %.2f), %zu eq removed, "
-                "%zu components (largest %zu)\n",
+                "%zu components (largest %zu), %zu emission shards "
+                "(largest %zu cons, %zu shapes interned)\n",
                 State.range(0), Simp.StateVarsBefore, Simp.StateVarsAfter,
                 Simp.ConstraintsBefore, Simp.ConstraintsAfter,
                 Simp.ConstraintsBefore
                     ? static_cast<double>(Simp.ConstraintsAfter) /
                           static_cast<double>(Simp.ConstraintsBefore)
                     : 0.0,
-                Simp.EqRemoved, Simp.Components, Simp.LargestComponent);
+                Simp.EqRemoved, Simp.Components, Simp.LargestComponent,
+                Gen.Sharding.Shards, Gen.Sharding.LargestShardConstraints,
+                Gen.Sharding.InternedShapes);
   }
 }
 

@@ -58,6 +58,7 @@ Completion completion::aflCompletion(const RegionProgram &Prog,
     Stats->SolverChoices = Sol.Choices;
     Stats->SolverBacktracks = Sol.Backtracks;
     Stats->SolverSimplify = Sol.Simplify;
+    Stats->Sharding = Gen.Sharding;
     Stats->Solved = Sol.Sat;
   }
 

@@ -39,6 +39,9 @@ struct AflStats {
   /// Constraint-graph preprocessing statistics (zeros when the solve ran
   /// with simplification disabled).
   solver::SimplifyStats SolverSimplify;
+  /// Sharded-emission counters from constraint generation (the shape
+  /// interner and the emission-time union-find finalized into shards).
+  constraints::ShardingStats Sharding;
   /// Wall-clock seconds per analysis sub-stage (see docs/OBSERVABILITY.md).
   double ClosureSeconds = 0;
   double ConstraintGenSeconds = 0;

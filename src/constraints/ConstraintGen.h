@@ -29,6 +29,7 @@
 #include "regions/Completion.h"
 #include "regions/RegionProgram.h"
 
+#include <algorithm>
 #include <map>
 
 namespace afl {
@@ -57,6 +58,28 @@ struct GenOptions {
   bool EarlyFree = true;
 };
 
+/// Counters for the sharded-emission side of generation: the shape
+/// interner and the union-find finalized into component shards.
+struct ShardingStats {
+  /// Connected components of the emitted system (finalized shards).
+  size_t Shards = 0;
+  /// Constraint count of the largest shard.
+  size_t LargestShardConstraints = 0;
+  /// Distinct state-vector shapes interned across all contexts.
+  size_t InternedShapes = 0;
+  /// Wall time to finalize the union-find into CSR shard tables.
+  double FinalizeSeconds = 0.0;
+
+  /// Batch aggregation: sums, except the largest-shard maximum.
+  void accumulate(const ShardingStats &O) {
+    Shards += O.Shards;
+    LargestShardConstraints =
+        std::max(LargestShardConstraints, O.LargestShardConstraints);
+    InternedShapes += O.InternedShapes;
+    FinalizeSeconds += O.FinalizeSeconds;
+  }
+};
+
 /// Generated system plus the choice-point index used to extract the
 /// completion from a solution.
 struct GenResult {
@@ -67,6 +90,9 @@ struct GenResult {
   /// Number of application edges where caller/callee effect colors did not
   /// align (handled by conservative pinning; see DESIGN.md limitations).
   size_t NumPinnedCalls = 0;
+  /// Sharded-emission counters (shards are finalized eagerly by
+  /// generateConstraints so the solver never pays component discovery).
+  ShardingStats Sharding;
 };
 
 /// Generates the constraint system for \p Prog using \p CA's results.

@@ -16,13 +16,24 @@
 /// Domains are bitmasks; the solver performs arc-consistency style
 /// propagation over them.
 ///
+/// The system also tracks connectivity *as constraints are emitted*: a
+/// union-find over the state and boolean variables is updated inside
+/// `addConstraint`, so by the time generation finishes the connected
+/// components of the constraint graph are already known. `numShards()` /
+/// `shardConstraints()` / `shardStates()` / `shardBools()` expose them as
+/// CSR-backed shards with deterministic numbering (ascending smallest
+/// member state variable — the same order `solver::splitComponents`
+/// assigns), letting the solver skip its own component-discovery pass.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AFL_CONSTRAINTS_CONSTRAINTSYSTEM_H
 #define AFL_CONSTRAINTS_CONSTRAINTSYSTEM_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace afl {
@@ -60,12 +71,28 @@ class ConstraintSystem {
 public:
   StateVarId newState(uint8_t Domain = StAny) {
     StateDom.push_back(Domain);
+    if (Tracking)
+      Uf.push_back(-1);
     return static_cast<StateVarId>(StateDom.size() - 1);
   }
 
   BoolVarId newBool() {
     BoolDom.push_back(BAny);
+    if (Tracking)
+      BFirst.push_back(NoVar);
     return static_cast<BoolVarId>(BoolDom.size() - 1);
+  }
+
+  /// Turns off the emission-time union-find. For solver-internal systems
+  /// (simplification residuals, materialized components) that are solved
+  /// directly and never asked for shards, maintaining connectivity is
+  /// pure overhead on every addConstraint. The shard API still works on
+  /// such a system: ensureShards rebuilds the union-find from the
+  /// constraint list in one batch pass. Call before populating.
+  void disableConnectivityTracking() {
+    Tracking = false;
+    BFirst.clear();
+    Uf.clear();
   }
 
   void addEq(StateVarId S1, StateVarId S2) {
@@ -122,13 +149,114 @@ public:
     return {BOccData.data() + BOccStart[V], BOccData.data() + BOccStart[V + 1]};
   }
 
+  /// Number of connected components ("shards") of the constraint graph.
+  /// Shards are numbered by their smallest state variable, ascending —
+  /// the numbering `solver::splitComponents` would assign. Variables that
+  /// occur in no constraint belong to no shard.
+  size_t numShards() const {
+    ensureShards();
+    return NumShards;
+  }
+
+  /// Indices into `Cons` of shard \p K's constraints, in ascending
+  /// (emission) order.
+  OccRange shardConstraints(uint32_t K) const {
+    ensureShards();
+    return {ShardConsData.data() + ShardConsStart[K],
+            ShardConsData.data() + ShardConsStart[K + 1]};
+  }
+
+  /// State variables of shard \p K, ascending.
+  OccRange shardStates(uint32_t K) const {
+    ensureShards();
+    return {ShardStateData.data() + ShardStateStart[K],
+            ShardStateData.data() + ShardStateStart[K + 1]};
+  }
+
+  /// Boolean variables of shard \p K, ascending.
+  OccRange shardBools(uint32_t K) const {
+    ensureShards();
+    return {ShardBoolData.data() + ShardBoolStart[K],
+            ShardBoolData.data() + ShardBoolStart[K + 1]};
+  }
+
+  /// Constraint count of the largest shard (0 if no constraints).
+  size_t largestShardConstraints() const {
+    ensureShards();
+    size_t Largest = 0;
+    for (size_t K = 0; K != NumShards; ++K)
+      Largest = std::max<size_t>(Largest,
+                                 ShardConsStart[K + 1] - ShardConsStart[K]);
+    return Largest;
+  }
+
   // Solver access.
   std::vector<uint8_t> StateDom;
   std::vector<uint8_t> BoolDom;
   std::vector<Constraint> Cons;
 
 private:
-  void addConstraint(Constraint C) { Cons.push_back(C); }
+  static constexpr uint32_t NoShard = static_cast<uint32_t>(-1);
+  static constexpr uint32_t NoVar = static_cast<uint32_t>(-1);
+
+  void addConstraint(Constraint C) {
+    Cons.push_back(C);
+    if (Tracking)
+      trackConstraint(C);
+  }
+
+  /// Incremental connectivity: merge the constraint's endpoints now, so
+  /// finalizing shards later is a pure renumbering pass with no edge
+  /// scan. State variable ids ARE the union-find slots (newState pushes
+  /// one). Booleans have no slots: a boolean connects all triples
+  /// mentioning it, which is equivalent to merging each later endpoint
+  /// into the endpoint of its first occurrence (BFirst) — the same
+  /// components over the state variables, with a third fewer slots and
+  /// merges. The boolean's own shard falls out during finalization (its
+  /// first triple's endpoint shard).
+  void trackConstraint(const Constraint &C) const {
+    merge(C.S1, C.S2);
+    if (C.K != Constraint::Kind::Eq) {
+      uint32_t &F = BFirst[C.B];
+      if (F == NoVar)
+        F = C.S1;
+      else
+        merge(C.S1, F);
+      if (C.S1 == C.S2) {
+        // Degenerate self-triple: the state merge above was a no-op, so
+        // force the class non-singleton — ensureShards reads a singleton
+        // class as "occurs in no constraint".
+        uint32_t R = find(C.S1);
+        if (Uf[R] == -1)
+          Uf[R] = -2;
+      }
+    }
+  }
+
+  /// Single-array union-find: a root slot holds the negated class size,
+  /// a non-root slot holds its parent index. find() path-halves.
+  uint32_t find(uint32_t N) const {
+    int32_t P;
+    while ((P = Uf[N]) >= 0) {
+      int32_t G = Uf[static_cast<uint32_t>(P)];
+      if (G < 0)
+        return static_cast<uint32_t>(P);
+      Uf[N] = G; // path halving
+      N = static_cast<uint32_t>(G);
+    }
+    return N;
+  }
+
+  void merge(uint32_t A, uint32_t B) const {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return;
+    if (Uf[A] > Uf[B]) // union by size (sizes are stored negated)
+      std::swap(A, B);
+    Uf[A] += Uf[B];
+    Uf[B] = static_cast<int32_t>(A);
+  }
 
   void ensureOcc() const {
     if (OccConsBuilt == Cons.size() &&
@@ -164,9 +292,107 @@ private:
     OccConsBuilt = Cons.size();
   }
 
+  /// Finalizes the union-find into CSR shard tables. Pure renumbering:
+  /// scan state variables ascending and number each root at its first
+  /// occurrence (= numbering by smallest member state variable; every
+  /// constraint mentions a state variable, so every shard has one), then
+  /// bucket variables and constraints by shard. For untracked systems the
+  /// union-find is first rebuilt in one batch pass over the constraint
+  /// list. Lazy and cached like the occurrence index.
+  void ensureShards() const {
+    if (ShardsConsBuilt == Cons.size() && ShardSCount == StateDom.size() &&
+        ShardBCount == BoolDom.size())
+      return;
+    const size_t NS = StateDom.size(), NB = BoolDom.size();
+    if (!Tracking) {
+      BFirst.assign(NB, NoVar);
+      Uf.assign(NS, -1);
+      for (const Constraint &C : Cons)
+        trackConstraint(C);
+    }
+
+    // Memoize each variable's shard so the counting and filling passes
+    // below are straight array reads. A state variable whose union-find
+    // class is still a singleton (root slot -1) occurs in no constraint
+    // — addConstraint leaves no constrained class at size one — and
+    // belongs to no shard; a boolean's shard is its first triple's
+    // endpoint shard, picked up in the constraint sweep. NumShards is
+    // also the shard-numbering pass: ascending smallest member state
+    // variable.
+    std::vector<uint32_t> ShardOfRoot(Uf.size(), NoShard);
+    std::vector<uint32_t> SShard(NS, NoShard), BShard(NB, NoShard);
+    NumShards = 0;
+    ShardStateStart.assign(1, 0);
+    for (StateVarId S = 0; S != NS; ++S) {
+      if (Uf[S] == -1)
+        continue;
+      uint32_t R = find(S);
+      if (ShardOfRoot[R] == NoShard) {
+        ShardOfRoot[R] = static_cast<uint32_t>(NumShards++);
+        ShardStateStart.push_back(0);
+      }
+      SShard[S] = ShardOfRoot[R];
+      ++ShardStateStart[ShardOfRoot[R] + 1];
+    }
+
+    ShardConsStart.assign(NumShards + 1, 0);
+    ShardBoolStart.assign(NumShards + 1, 0);
+    for (const Constraint &C : Cons) {
+      uint32_t K = SShard[C.S1];
+      ++ShardConsStart[K + 1];
+      if (C.K != Constraint::Kind::Eq)
+        BShard[C.B] = K;
+    }
+    for (BoolVarId B = 0; B != NB; ++B)
+      if (BShard[B] != NoShard)
+        ++ShardBoolStart[BShard[B] + 1];
+    for (size_t K = 1; K <= NumShards; ++K) {
+      ShardConsStart[K] += ShardConsStart[K - 1];
+      ShardStateStart[K] += ShardStateStart[K - 1];
+      ShardBoolStart[K] += ShardBoolStart[K - 1];
+    }
+    ShardConsData.resize(ShardConsStart.back());
+    ShardStateData.resize(ShardStateStart.back());
+    ShardBoolData.resize(ShardBoolStart.back());
+    std::vector<uint32_t> ConsCur(ShardConsStart.begin(),
+                                  ShardConsStart.end() - 1);
+    std::vector<uint32_t> StateCur(ShardStateStart.begin(),
+                                   ShardStateStart.end() - 1);
+    std::vector<uint32_t> BoolCur(ShardBoolStart.begin(),
+                                  ShardBoolStart.end() - 1);
+    for (uint32_t Idx = 0; Idx != Cons.size(); ++Idx)
+      ShardConsData[ConsCur[SShard[Cons[Idx].S1]]++] = Idx;
+    for (StateVarId S = 0; S != NS; ++S)
+      if (SShard[S] != NoShard)
+        ShardStateData[StateCur[SShard[S]]++] = S;
+    for (BoolVarId B = 0; B != NB; ++B)
+      if (BShard[B] != NoShard)
+        ShardBoolData[BoolCur[BShard[B]]++] = B;
+
+    ShardsConsBuilt = Cons.size();
+    ShardSCount = StateDom.size();
+    ShardBCount = BoolDom.size();
+  }
+
   mutable std::vector<uint32_t> SOccStart, SOccData;
   mutable std::vector<uint32_t> BOccStart, BOccData;
   mutable size_t OccConsBuilt = static_cast<size_t>(-1);
+
+  /// Emission-time union-find over the state variable ids, maintained in
+  /// addConstraint while Tracking (rebuilt inside ensureShards
+  /// otherwise). BFirst maps each boolean to the endpoint of its first
+  /// triple (NoVar until seen). find() path-halves, so everything is
+  /// mutable.
+  bool Tracking = true;
+  mutable std::vector<uint32_t> BFirst;
+  mutable std::vector<int32_t> Uf;
+
+  mutable std::vector<uint32_t> ShardConsStart, ShardConsData;
+  mutable std::vector<uint32_t> ShardStateStart, ShardStateData;
+  mutable std::vector<uint32_t> ShardBoolStart, ShardBoolData;
+  mutable size_t NumShards = 0;
+  mutable size_t ShardsConsBuilt = static_cast<size_t>(-1);
+  mutable size_t ShardSCount = 0, ShardBCount = 0;
 };
 
 } // namespace constraints

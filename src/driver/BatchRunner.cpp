@@ -3,6 +3,9 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 using namespace afl;
 using namespace afl::driver;
@@ -22,6 +25,7 @@ void accumulateAnalysis(completion::AflStats &Agg,
   Agg.SolverChoices += S.SolverChoices;
   Agg.SolverBacktracks += S.SolverBacktracks;
   Agg.SolverSimplify.accumulate(S.SolverSimplify);
+  Agg.Sharding.accumulate(S.Sharding);
   Agg.ClosureSeconds += S.ClosureSeconds;
   Agg.ConstraintGenSeconds += S.ConstraintGenSeconds;
   Agg.SolveSeconds += S.SolveSeconds;
@@ -49,6 +53,105 @@ void peakRun(interp::Stats &Peak, const interp::Stats &S) {
 }
 
 } // namespace
+
+bool driver::collectBatchItems(const std::string &Dir,
+                               std::vector<BatchItem> &Work,
+                               std::string &Error) {
+  namespace fs = std::filesystem;
+  const fs::path Root(Dir);
+
+  // Names are derived lexically: fs::relative stats both paths and can
+  // itself fail on the entries this walk is built to survive.
+  auto relName = [&Root](const fs::path &P) {
+    fs::path Rel = P.lexically_relative(Root);
+    return (Rel.empty() || Rel == ".") ? P.string() : Rel.string();
+  };
+  auto failItem = [&](const fs::path &P, std::string Why) {
+    BatchItem Item;
+    Item.Name = relName(P);
+    Item.LoadError = std::move(Why);
+    Work.push_back(std::move(Item));
+  };
+
+  std::error_code EC;
+  // Probe the root before walking so "the directory doesn't exist" is a
+  // batch-level error, not an empty batch.
+  if (fs::directory_iterator(Root, EC); EC) {
+    Error = "cannot read directory '" + Dir + "': " + EC.message();
+    return false;
+  }
+
+  // Manual stack-driven walk instead of recursive_directory_iterator:
+  // its throwing operator++ aborts the whole batch on the first
+  // unreadable subdirectory, and its error_code increment ends the
+  // iteration — silently dropping every entry after the failure. Here a
+  // bad directory becomes one failed item and its siblings still run.
+  std::vector<fs::path> Pending;
+  Pending.push_back(Root);
+  while (!Pending.empty()) {
+    fs::path D = std::move(Pending.back());
+    Pending.pop_back();
+    fs::directory_iterator It(D, EC);
+    if (EC) {
+      failItem(D, "cannot read directory '" + D.string() +
+                      "': " + EC.message());
+      EC.clear();
+      continue;
+    }
+    for (; It != fs::directory_iterator(); It.increment(EC)) {
+      if (EC)
+        break;
+      const fs::directory_entry &Entry = *It;
+      // Classify without following the link target: symlink_status never
+      // dereferences, so a dangling symlink is not an error here.
+      fs::file_status LStat = Entry.symlink_status(EC);
+      if (EC) {
+        failItem(Entry.path(), "cannot stat '" + Entry.path().string() +
+                                   "': " + EC.message());
+        EC.clear();
+        continue;
+      }
+      if (fs::is_directory(LStat)) {
+        Pending.push_back(Entry.path());
+        continue;
+      }
+      if (Entry.path().extension() != ".afl")
+        continue;
+      // Follow symlinks for the actual read; a dangling .afl symlink
+      // surfaces here as a failed item.
+      bool IsRegular = fs::is_regular_file(Entry.path(), EC);
+      if (EC || !IsRegular) {
+        failItem(Entry.path(),
+                 EC ? "cannot stat '" + Entry.path().string() +
+                          "': " + EC.message()
+                    : "not a regular file: '" + Entry.path().string() + "'");
+        EC.clear();
+        continue;
+      }
+      std::ifstream In(Entry.path());
+      if (!In) {
+        failItem(Entry.path(), "cannot open '" + Entry.path().string() + "'");
+        continue;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      // badbit is a real read or allocation failure. failbit alone just
+      // means zero characters were inserted — an empty file, which is a
+      // legitimate (if doomed) program.
+      if (In.bad() || SS.bad()) {
+        failItem(Entry.path(),
+                 "read error on '" + Entry.path().string() + "'");
+        continue;
+      }
+      Work.push_back({relName(Entry.path()), SS.str(), ""});
+    }
+    if (EC) {
+      failItem(D, "walk of '" + D.string() + "' failed: " + EC.message());
+      EC.clear();
+    }
+  }
+  return true;
+}
 
 void BatchItemResult::recordMetrics(MetricsRegistry &Reg) const {
   recordPipelineMetrics(Reg, Stats, Analysis,

@@ -82,6 +82,19 @@ struct BatchResult {
   void recordMetrics(MetricsRegistry &Reg) const;
 };
 
+/// Walks \p Dir recursively and appends every `.afl` file to \p Work as
+/// a batch item. Fault-tolerant by construction: every filesystem
+/// operation goes through the `error_code` overloads, so a
+/// permission-denied subdirectory, a dangling symlink, or a file that
+/// fails mid-read becomes a failed item (\c LoadError set) and the walk
+/// continues with the remaining entries — one bad entry cannot abort
+/// (or throw out of) the whole batch. Returns false only when \p Dir
+/// itself cannot be opened, with \p Error holding a rendered message.
+/// Item order follows directory iteration order, which is unspecified;
+/// callers sort.
+bool collectBatchItems(const std::string &Dir, std::vector<BatchItem> &Work,
+                       std::string &Error);
+
 /// Runs the pipeline over every item with \p Threads workers
 /// (0 = hardware concurrency). Results are deterministic and ordered:
 /// Items[i] always describes Work[i], whatever the schedule. Each run

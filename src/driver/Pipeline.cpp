@@ -89,7 +89,16 @@ void driver::recordPipelineMetrics(MetricsRegistry &Reg,
         Reg.addTime("parallel_seconds", Analysis.Closure.ParallelSeconds);
       }
     }
-    Stage("constraint_gen", Stats.ConstraintGenSeconds);
+    {
+      MetricScope S(Reg, "constraint_gen");
+      Reg.addTime("wall_seconds", Stats.ConstraintGenSeconds);
+      const constraints::ShardingStats &Shard = Analysis.Sharding;
+      MetricScope Sharding(Reg, "sharding");
+      Reg.set("shards", Shard.Shards);
+      Reg.set("largest_shard_constraints", Shard.LargestShardConstraints);
+      Reg.set("interned_shapes", Shard.InternedShapes);
+      Reg.addTime("finalize_seconds", Shard.FinalizeSeconds);
+    }
     {
       MetricScope S(Reg, "solve");
       Reg.addTime("wall_seconds", Stats.SolveSeconds);
@@ -190,6 +199,15 @@ std::string driver::formatTimings(const PipelineStats &Stats,
                   Analysis.Closure.ThreadsUsed, Analysis.Closure.ParallelRounds,
                   Analysis.Closure.InlineRounds, Analysis.Closure.Partitions,
                   Analysis.Closure.LargestPartition);
+    Out += Buf;
+  }
+  const constraints::ShardingStats &Shard = Analysis.Sharding;
+  if (Shard.Shards) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "congen-shard: %zu shard(s) (largest %zu constraints), "
+                  "%zu interned shape(s), finalize %.3f ms\n",
+                  Shard.Shards, Shard.LargestShardConstraints,
+                  Shard.InternedShapes, Shard.FinalizeSeconds * 1e3);
     Out += Buf;
   }
   const solver::SimplifyStats &Simp = Analysis.SolverSimplify;

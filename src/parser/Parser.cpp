@@ -57,6 +57,32 @@ private:
 
   void error(std::string Message) { Diags.error(loc(), std::move(Message)); }
 
+  /// Hard bound on recursive-descent depth. One source nesting level
+  /// costs several parser frames (parseExpr -> ... -> parseAtom ->
+  /// parseExpr), so deeply nested machine-generated inputs otherwise
+  /// overflow the native stack; past the bound the parser reports a
+  /// diagnostic instead of crashing. 2000 levels keeps the worst-case
+  /// frame chain comfortably inside an 8 MiB stack, sanitizer builds
+  /// included. The bound also shields every AST-consuming recursive
+  /// pass downstream (type/region inference, closure analysis,
+  /// completion printing, the interpreter): their frames are smaller
+  /// than the parser's worst-case chain, and the full pipeline runs a
+  /// depth-1990 program end to end within the same 8 MiB budget.
+  static constexpr unsigned MaxDepth = 2000;
+
+  /// RAII depth accounting for the recursive productions. On overflow
+  /// the constructor reports once (the failure then unwinds through the
+  /// callers' null checks, which do not re-enter).
+  struct DepthGuard {
+    Parser &P;
+    bool Ok;
+    explicit DepthGuard(Parser &P) : P(P), Ok(++P.Depth <= MaxDepth) {
+      if (!Ok)
+        P.error("expression nesting too deep");
+    }
+    ~DepthGuard() { --P.Depth; }
+  };
+
   /// Parses an identifier token into a symbol; returns invalid on error.
   Symbol parseIdent() {
     if (!cur().is(TokenKind::Ident)) {
@@ -79,6 +105,9 @@ private:
 
   Binder parseBinder() {
     Binder Out;
+    DepthGuard Guard(*this);
+    if (!Guard.Ok)
+      return Out;
     if (cur().is(TokenKind::Ident)) {
       Out.Var = Ctx.intern(take().Text);
       Out.Wrap = [](const Expr *Body) { return Body; };
@@ -114,6 +143,9 @@ private:
   }
 
   const Expr *parseExpr() {
+    DepthGuard Guard(*this);
+    if (!Guard.Ok)
+      return nullptr;
     switch (cur().Kind) {
     case TokenKind::KwFn: {
       SourceLoc Loc = take().Loc;
@@ -198,6 +230,9 @@ private:
   }
 
   const Expr *parseCons() {
+    DepthGuard Guard(*this);
+    if (!Guard.Ok)
+      return nullptr;
     const Expr *Head = parseAdd();
     if (!Head)
       return nullptr;
@@ -253,6 +288,9 @@ private:
   }
 
   const Expr *parseUn() {
+    DepthGuard Guard(*this);
+    if (!Guard.Ok)
+      return nullptr;
     UnOpKind Op;
     switch (cur().Kind) {
     case TokenKind::KwFst:
@@ -364,6 +402,8 @@ private:
   DiagnosticEngine &Diags;
   size_t Pos = 0;
   unsigned FreshCounter = 0;
+  /// Current recursive-descent depth (see DepthGuard).
+  unsigned Depth = 0;
 };
 
 } // namespace

@@ -65,6 +65,8 @@ ComponentSplit solver::splitComponents(const ConstraintSystem &Sys) {
     if (CompOf[Root] == None) {
       CompOf[Root] = static_cast<uint32_t>(Out.Comps.size());
       Out.Comps.emplace_back();
+      // Components are solved directly, never re-sharded.
+      Out.Comps.back().Sys.disableConnectivityTracking();
     }
     return CompOf[Root];
   };
@@ -116,6 +118,59 @@ ComponentSplit solver::splitComponents(const ConstraintSystem &Sys) {
     Out.LargestConstraints =
         std::max(Out.LargestConstraints, Comp.Sys.numConstraints());
   return Out;
+}
+
+ShardLocalIds solver::buildShardLocalIds(const ConstraintSystem &Sys) {
+  ShardLocalIds Ids;
+  Ids.State.assign(Sys.numStateVars(), ~0u);
+  Ids.Bool.assign(Sys.numBoolVars(), ~0u);
+  const size_t NumShards = Sys.numShards();
+  for (uint32_t K = 0; K != NumShards; ++K) {
+    const auto States = Sys.shardStates(K);
+    uint32_t L = 0;
+    for (uint32_t S : States)
+      Ids.State[S] = L++;
+    Ids.NumShardedStates += States.size();
+    const auto Bools = Sys.shardBools(K);
+    L = 0;
+    for (uint32_t B : Bools)
+      Ids.Bool[B] = L++;
+    Ids.NumShardedBools += Bools.size();
+  }
+  return Ids;
+}
+
+Component solver::materializeShard(const ConstraintSystem &Sys, uint32_t K,
+                                   const ShardLocalIds &Ids) {
+  Component Comp;
+  Comp.Sys.disableConnectivityTracking();
+  for (uint32_t S : Sys.shardStates(K)) {
+    Comp.Sys.newState(Sys.StateDom[S]);
+    Comp.StateGlobal.push_back(S);
+  }
+  for (uint32_t B : Sys.shardBools(K)) {
+    Comp.Sys.newBool();
+    Comp.Sys.BoolDom.back() = Sys.BoolDom[B];
+    Comp.BoolGlobal.push_back(B);
+  }
+  // Shard constraint lists keep emission order, so the materialized
+  // component's constraint order matches splitComponents' output.
+  for (uint32_t CI : Sys.shardConstraints(K)) {
+    const Constraint &C = Sys.Cons[CI];
+    uint32_t L1 = Ids.State[C.S1], L2 = Ids.State[C.S2];
+    switch (C.K) {
+    case Constraint::Kind::Eq:
+      Comp.Sys.addEq(L1, L2);
+      break;
+    case Constraint::Kind::AllocTriple:
+      Comp.Sys.addAllocTriple(L1, Ids.Bool[C.B], L2);
+      break;
+    case Constraint::Kind::DeallocTriple:
+      Comp.Sys.addDeallocTriple(L1, Ids.Bool[C.B], L2);
+      break;
+    }
+  }
+  return Comp;
 }
 
 ComponentCount solver::countComponents(const ConstraintSystem &Sys) {

@@ -54,6 +54,24 @@ struct ComponentCount {
 };
 ComponentCount countComponents(const constraints::ConstraintSystem &Sys);
 
+/// Local-id tables for every shard of a pre-sharded system (the CSR
+/// component index ConstraintSystem finalizes from its emission-time
+/// union-find): a variable's local id is its rank within its shard, so
+/// local ids ascend in global-id order — the numbering splitComponents
+/// assigns. Built once; shared read-only by concurrent materializations.
+struct ShardLocalIds {
+  std::vector<uint32_t> State, Bool;
+  size_t NumShardedStates = 0;
+  size_t NumShardedBools = 0;
+};
+ShardLocalIds buildShardLocalIds(const constraints::ConstraintSystem &Sys);
+
+/// Materializes shard \p K of a pre-sharded system as a self-contained
+/// component, equivalent to the corresponding splitComponents entry but
+/// a pure gather over the CSR shard index — no union-find, no edge scan.
+Component materializeShard(const constraints::ConstraintSystem &Sys,
+                           uint32_t K, const ShardLocalIds &Ids);
+
 } // namespace solver
 } // namespace afl
 

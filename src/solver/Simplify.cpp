@@ -1,5 +1,7 @@
 #include "solver/Simplify.h"
 
+#include "solver/Components.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -24,15 +26,31 @@ void SimplifyStats::accumulate(const SimplifyStats &Other) {
   ReconstructSeconds += Other.ReconstructSeconds;
 }
 
-SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
+namespace {
+
+/// The simplification pipeline over an abstract constraint stream. The
+/// caller describes a system of \p NS state variables (initial domains
+/// \p Dom) and \p NB booleans whose \p NumCons constraints are produced
+/// — already over local ids, in emission order — by \p ForEach(Visit).
+/// Shared by simplify() (the stream is Sys.Cons verbatim) and
+/// simplifyShard() (the stream is one shard's constraints, translated to
+/// shard-local ids on the fly), so both run the identical algorithm and
+/// produce bit-identical residuals for the same stream.
+template <typename ForEachCons>
+SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
+                              std::vector<uint8_t> Dom,
+                              ForEachCons &&ForEach) {
   SimplifiedSystem Out;
-  Out.Stats.StateVarsBefore = Sys.numStateVars();
-  Out.Stats.ConstraintsBefore = Sys.numConstraints();
+  Out.Stats.StateVarsBefore = NS;
+  Out.Stats.ConstraintsBefore = NumCons;
+  // The residual is solver-internal: solved directly, never sharded, so
+  // emission-time connectivity tracking would be pure overhead.
+  Out.Residual.disableConnectivityTracking();
 
   // An empty *initial* domain is a conflict even if the variable occurs
   // in no constraint (restrictState can zero a domain the propagator
   // never visits).
-  for (uint8_t D : Sys.StateDom) {
+  for (uint8_t D : Dom) {
     if (D == 0) {
       Out.Conflict = true;
       return Out;
@@ -42,10 +60,9 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
   // Union-find over the state variables. Each root carries the class
   // domain (the intersection of the members' initial domains) and, in
   // phase 2, the list of triples touching the class.
-  std::vector<uint32_t> Parent(Sys.numStateVars());
+  std::vector<uint32_t> Parent(NS);
   for (uint32_t I = 0; I != Parent.size(); ++I)
     Parent[I] = I;
-  std::vector<uint8_t> Dom = Sys.StateDom;
   auto Find = [&Parent](uint32_t V) {
     while (Parent[V] != V) {
       Parent[V] = Parent[Parent[V]];
@@ -55,24 +72,28 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
   };
 
   // Phase 1: collapse every Eq constraint; collect the triples.
-  std::vector<uint32_t> Triples;
-  Triples.reserve(Sys.Cons.size());
-  for (uint32_t CI = 0; CI != Sys.Cons.size(); ++CI) {
-    const Constraint &C = Sys.Cons[CI];
+  std::vector<Constraint> T;
+  T.reserve(NumCons);
+  bool EarlyConflict = false;
+  ForEach([&](const Constraint &C) {
+    if (EarlyConflict)
+      return;
     if (C.K != Constraint::Kind::Eq) {
-      Triples.push_back(CI);
-      continue;
+      T.push_back(C);
+      return;
     }
     ++Out.Stats.EqRemoved;
     uint32_t A = Find(C.S1), B = Find(C.S2);
     if (A == B)
-      continue;
+      return;
     Parent[B] = A;
     Dom[A] &= Dom[B];
-    if (Dom[A] == 0) {
-      Out.Conflict = true;
-      return Out;
-    }
+    if (Dom[A] == 0)
+      EarlyConflict = true;
+  });
+  if (EarlyConflict) {
+    Out.Conflict = true;
+    return Out;
   }
 
   // Phase 2: apply forced booleans to a fixpoint, worklist-driven. A
@@ -83,29 +104,40 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
   // small-into-large, making the whole phase near-linear. A
   // forced-false triple is an equality (fed back into the union-find,
   // so collapses cascade).
-  const size_t NT = Triples.size();
-  std::vector<bool> Alive(NT, true), InQ(NT, false);
+  const size_t NT = T.size();
+  // Byte flags, not vector<bool>: both are touched per worklist pop.
+  std::vector<uint8_t> Alive(NT, 1), InQ(NT, 0);
   std::vector<uint32_t> Queue;
   Queue.reserve(NT);
   size_t QHead = 0;
   auto Enqueue = [&](uint32_t TI) {
     if (Alive[TI] && !InQ[TI]) {
-      InQ[TI] = true;
+      InQ[TI] = 1;
       Queue.push_back(TI);
     }
   };
 
-  // Constraint index -> dense triple index (for BoolOcc lookups).
   constexpr uint32_t None = ~0u;
-  std::vector<uint32_t> TripleOf(Sys.Cons.size(), None);
-  for (uint32_t TI = 0; TI != NT; ++TI)
-    TripleOf[Triples[TI]] = TI;
+
+  // Boolean -> incident triples, CSR-shaped in ascending triple order
+  // (the order the occurrence index would report).
+  std::vector<uint32_t> BoolStart(NB + 1, 0);
+  for (const Constraint &C : T)
+    ++BoolStart[C.B + 1];
+  for (size_t I = 1; I < BoolStart.size(); ++I)
+    BoolStart[I] += BoolStart[I - 1];
+  std::vector<uint32_t> BoolTriples(NT);
+  {
+    std::vector<uint32_t> Cur(BoolStart.begin(), BoolStart.end() - 1);
+    for (uint32_t TI = 0; TI != NT; ++TI)
+      BoolTriples[Cur[T[TI].B]++] = TI;
+  }
 
   // Per-root incident triple lists (post-Eq roots): Head/Tail/Count per
   // root, nodes preallocated (at most two incidences per triple).
-  std::vector<uint32_t> Head(Sys.numStateVars(), None);
-  std::vector<uint32_t> Tail(Sys.numStateVars(), None);
-  std::vector<uint32_t> Count(Sys.numStateVars(), 0);
+  std::vector<uint32_t> Head(NS, None);
+  std::vector<uint32_t> Tail(NS, None);
+  std::vector<uint32_t> Count(NS, 0);
   std::vector<uint32_t> NodeTriple, NodeNext;
   NodeTriple.reserve(2 * NT);
   NodeNext.reserve(2 * NT);
@@ -119,7 +151,7 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
     ++Count[R];
   };
   for (uint32_t TI = 0; TI != NT; ++TI) {
-    const Constraint &C = Sys.Cons[Triples[TI]];
+    const Constraint &C = T[TI];
     uint32_t R1 = Find(C.S1), R2 = Find(C.S2);
     AddIncidence(R1, TI);
     if (R2 != R1)
@@ -177,14 +209,13 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
     EnqueueClass(R);
   };
 
-  std::vector<uint8_t> BD(Sys.numBoolVars(), BAny);
+  std::vector<uint8_t> BD(NB, BAny);
   auto ForceBool = [&](BoolVarId B, uint8_t Value) {
     assert(BD[B] == BAny);
     BD[B] = Value;
     ++Out.Stats.BoolsForced;
-    for (uint32_t CI : Sys.boolOcc(B))
-      if (TripleOf[CI] != None)
-        Enqueue(TripleOf[CI]);
+    for (uint32_t I = BoolStart[B]; I != BoolStart[B + 1]; ++I)
+      Enqueue(BoolTriples[I]);
   };
 
   for (uint32_t TI = 0; TI != NT; ++TI)
@@ -194,7 +225,7 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
     InQ[TI] = false;
     if (!Alive[TI])
       continue;
-    const Constraint &C = Sys.Cons[Triples[TI]];
+    const Constraint &C = T[TI];
     const bool IsAlloc = C.K == Constraint::Kind::AllocTriple;
     const uint8_t From = IsAlloc ? StU : StA;
     const uint8_t To = IsAlloc ? StA : StD;
@@ -248,10 +279,10 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
   // Phase 3: number the representatives (ascending order of the
   // smallest class member, so relative variable order is preserved) and
   // record the original -> representative mapping.
-  std::vector<uint32_t> RepId(Sys.numStateVars(), None);
-  Out.StateRep.resize(Sys.numStateVars());
+  std::vector<uint32_t> RepId(NS, None);
+  Out.StateRep.resize(NS);
   ConstraintSystem &Res = Out.Residual;
-  for (uint32_t V = 0; V != Sys.numStateVars(); ++V) {
+  for (uint32_t V = 0; V != NS; ++V) {
     uint32_t Root = Find(V);
     if (RepId[Root] == None)
       RepId[Root] = Res.newState(Dom[Root]);
@@ -294,7 +325,7 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
   for (size_t TI = NT; TI-- > 0;) {
     if (!Alive[TI])
       continue;
-    const Constraint &C = Sys.Cons[Triples[TI]];
+    const Constraint &C = T[TI];
     uint32_t R1 = Out.StateRep[C.S1];
     uint32_t R2 = Out.StateRep[C.S2];
     assert(R1 != R2 && "live triple with equal representatives");
@@ -306,15 +337,15 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
                    (static_cast<uint64_t>(R2) << 21) |
                    static_cast<uint64_t>(C.B);
     if (InsertKey(Key))
-      Kept.push_back(Triples[TI]);
+      Kept.push_back(static_cast<uint32_t>(TI));
     else
       ++Out.Stats.DupTriplesRemoved;
   }
   std::reverse(Kept.begin(), Kept.end());
 
   Res.Cons.reserve(Kept.size());
-  for (uint32_t CI : Kept) {
-    const Constraint &C = Sys.Cons[CI];
+  for (uint32_t TI : Kept) {
+    const Constraint &C = T[TI];
     if (C.K == Constraint::Kind::AllocTriple)
       Res.addAllocTriple(Out.StateRep[C.S1], C.B, Out.StateRep[C.S2]);
     else
@@ -324,4 +355,52 @@ SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
   Out.Stats.StateVarsAfter = Res.numStateVars();
   Out.Stats.ConstraintsAfter = Res.numConstraints();
   return Out;
+}
+
+} // namespace
+
+SimplifiedSystem solver::simplify(const ConstraintSystem &Sys) {
+  return simplifyCore(Sys.numStateVars(), Sys.numBoolVars(),
+                      Sys.numConstraints(), Sys.StateDom,
+                      [&](auto &&Visit) {
+                        for (const Constraint &C : Sys.Cons)
+                          Visit(C);
+                      });
+}
+
+SimplifiedSystem solver::simplifyShard(const ConstraintSystem &Sys, uint32_t K,
+                                       const ShardLocalIds &Ids) {
+  return simplifyShardRange(Sys, K, K + 1, Ids);
+}
+
+SimplifiedSystem solver::simplifyShardRange(const ConstraintSystem &Sys,
+                                            uint32_t KBegin, uint32_t KEnd,
+                                            const ShardLocalIds &Ids) {
+  size_t NS = 0, NB = 0, NC = 0;
+  for (uint32_t K = KBegin; K != KEnd; ++K) {
+    NS += Sys.shardStates(K).size();
+    NB += Sys.shardBools(K).size();
+    NC += Sys.shardConstraints(K).size();
+  }
+  std::vector<uint8_t> Dom(NS);
+  size_t I = 0;
+  for (uint32_t K = KBegin; K != KEnd; ++K)
+    for (uint32_t S : Sys.shardStates(K))
+      Dom[I++] = Sys.StateDom[S];
+  return simplifyCore(
+      NS, NB, NC, std::move(Dom), [&](auto &&Visit) {
+        uint32_t SOff = 0, BOff = 0;
+        for (uint32_t K = KBegin; K != KEnd; ++K) {
+          for (uint32_t CI : Sys.shardConstraints(K)) {
+            Constraint C = Sys.Cons[CI];
+            C.S1 = SOff + Ids.State[C.S1];
+            C.S2 = SOff + Ids.State[C.S2];
+            if (C.K != Constraint::Kind::Eq)
+              C.B = BOff + Ids.Bool[C.B];
+            Visit(C);
+          }
+          SOff += static_cast<uint32_t>(Sys.shardStates(K).size());
+          BOff += static_cast<uint32_t>(Sys.shardBools(K).size());
+        }
+      });
 }

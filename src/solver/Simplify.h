@@ -87,6 +87,32 @@ struct SimplifiedSystem {
 /// Runs the preprocessing pass over \p Sys (which is not modified).
 SimplifiedSystem simplify(const constraints::ConstraintSystem &Sys);
 
+struct ShardLocalIds;
+
+/// Runs the identical pass over shard \p K of a pre-sharded system,
+/// consuming the CSR shard index directly — no materialized
+/// per-component copy. Variables are shard-local (\p Ids, from
+/// buildShardLocalIds): StateRep indexes shard-local state ids, and
+/// residual boolean ids are the shard-local ones. Produces the residual
+/// that simplify() over materializeShard(Sys, K, Ids).Sys would,
+/// bit-identically. Only shard-local initial domains are checked for
+/// emptiness; a caller that wants the whole-system conflict check (a
+/// zeroed domain outside any shard) performs it separately, as
+/// solver::solve does.
+SimplifiedSystem simplifyShard(const constraints::ConstraintSystem &Sys,
+                               uint32_t K, const ShardLocalIds &Ids);
+
+/// simplifyShard generalized to the contiguous shard range
+/// [\p KBegin, \p KEnd), treated as one disjoint union: group-local ids
+/// concatenate the member shards' local id spaces in shard order (member
+/// M's states start at the sum of the preceding members' state counts).
+/// Because shards share no variables, the result is the exact
+/// concatenation of the members' individual simplifications — grouping
+/// exists purely to amortize per-call fixed costs over small shards.
+SimplifiedSystem simplifyShardRange(const constraints::ConstraintSystem &Sys,
+                                    uint32_t KBegin, uint32_t KEnd,
+                                    const ShardLocalIds &Ids);
+
 } // namespace solver
 } // namespace afl
 

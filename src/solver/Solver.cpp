@@ -4,10 +4,13 @@
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
+#include "support/CliParse.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdlib>
 
 using namespace afl;
 using namespace afl::solver;
@@ -37,14 +40,21 @@ private:
     bool Flipped;
   };
 
-  void noteChange(bool IsBool, uint32_t Id) {
-    // Any domain change can create new border candidates among the
-    // constraints mentioning the variable. The in-stack bitmaps keep
-    // each constraint queued at most once — without them,
-    // propagation-heavy programs push the same index on every domain
-    // change (quadratic growth).
+  /// One scan of the variable's occurrence list handles everything a
+  /// domain change requires: re-queue the constraints for propagation
+  /// (skipped on rollback, which restores domains without needing to
+  /// re-propagate) and refresh the border-candidate stacks — any domain
+  /// change can create new candidates among the constraints mentioning
+  /// the variable. The in-stack bitmaps keep each constraint queued at
+  /// most once per structure — without them, propagation-heavy programs
+  /// push the same index on every domain change (quadratic growth).
+  void onChange(bool IsBool, uint32_t Id, bool Enqueue) {
     const auto Occ = IsBool ? Sys.boolOcc(Id) : Sys.stateOcc(Id);
     for (uint32_t CI : Occ) {
+      if (Enqueue && !InQueue[CI]) {
+        InQueue[CI] = true;
+        Queue.push_back(CI);
+      }
       const Constraint &C = Sys.Cons[CI];
       if (C.K == Constraint::Kind::AllocTriple) {
         if (!InAllocCand[CI]) {
@@ -62,16 +72,6 @@ private:
       BoolPointer = Id;
   }
 
-  void enqueueOcc(bool IsBool, uint32_t Id) {
-    const auto Occ = IsBool ? Sys.boolOcc(Id) : Sys.stateOcc(Id);
-    for (uint32_t CI : Occ) {
-      if (!InQueue[CI]) {
-        InQueue[CI] = true;
-        Queue.push_back(CI);
-      }
-    }
-  }
-
   bool setState(StateVarId S, uint8_t Mask) {
     uint8_t New = SD[S] & Mask;
     if (New == SD[S])
@@ -82,8 +82,7 @@ private:
     }
     Trail.push_back({false, S, SD[S]});
     SD[S] = New;
-    enqueueOcc(false, S);
-    noteChange(false, S);
+    onChange(false, S, true);
     return true;
   }
 
@@ -97,8 +96,7 @@ private:
     }
     Trail.push_back({true, B, BD[B]});
     BD[B] = New;
-    enqueueOcc(true, B);
-    noteChange(true, B);
+    onChange(true, B, true);
     return true;
   }
 
@@ -166,7 +164,7 @@ private:
       else
         SD[E.Id] = E.Old;
       // Reverting re-creates whatever candidacy existed before.
-      noteChange(E.IsBool, E.Id);
+      onChange(E.IsBool, E.Id, false);
       Trail.pop_back();
     }
     Conflict = false;
@@ -235,8 +233,11 @@ private:
 
   const ConstraintSystem &Sys;
   std::vector<uint8_t> SD, BD;
-  std::vector<bool> InQueue;
-  std::vector<bool> InAllocCand, InDeallocCand;
+  // Byte flags, not vector<bool>: these are the hottest bits in the
+  // solve and the proxy-reference bit twiddling costs measurably more
+  // than the 3x footprint saves.
+  std::vector<uint8_t> InQueue;
+  std::vector<uint8_t> InAllocCand, InDeallocCand;
   /// Index-cursor worklist: pushes append, pops advance QueueHead; the
   /// storage is reclaimed whenever the queue drains.
   std::vector<uint32_t> Queue;
@@ -282,8 +283,8 @@ SolveResult SolverImpl::run() {
     uint8_t Value = 0;
     if (!findChoice(B, Value)) {
       Stats.Sat = true;
-      Stats.StateDom = SD;
-      Stats.BoolDom = BD;
+      Stats.StateDom = std::move(SD);
+      Stats.BoolDom = std::move(BD);
       return Stats;
     }
     ++Stats.Choices;
@@ -335,7 +336,200 @@ bool solveComponents(const ComponentSplit &Split,
   return !Failed.load(std::memory_order_relaxed);
 }
 
+/// The pre-sharded path: the input's emission-time union-find already
+/// partitioned variables and constraints into connected components, so
+/// each shard is simplified and solved on its own — sequentially in
+/// shard order or fanned out over the pool — with no global simplify, no
+/// component-discovery pass, and no materialized per-shard system
+/// (simplifyShard consumes the CSR shard index directly). Shards
+/// partition the variable space, so workers scatter solved domains
+/// directly into disjoint slots of the result arrays.
+SolveResult solveSharded(const ConstraintSystem &Sys,
+                         const SolveOptions &Options, Stopwatch &Watch) {
+  SolveResult R;
+
+  // An empty *initial* domain is a conflict even for a variable in no
+  // constraint — it never reaches a shard, so check globally up front
+  // (the same scan simplify() opens with on the monolithic path).
+  for (uint8_t D : Sys.StateDom) {
+    if (D == 0) {
+      R.Sat = false;
+      R.Seconds = Watch.seconds();
+      return R;
+    }
+  }
+
+  Stopwatch Phase;
+  const size_t NumShards = Sys.numShards();
+  ShardLocalIds Ids = buildShardLocalIds(Sys);
+  R.Simplify.ComponentSeconds = Phase.seconds();
+
+  unsigned Jobs = Options.Jobs;
+  if (Jobs == 0)
+    Jobs = ThreadPool::hardwareThreads();
+  if (Sys.numConstraints() < Options.ParallelMinConstraints)
+    Jobs = 1;
+
+  // Group contiguous shards into work units of roughly GroupTarget
+  // constraints: the per-unit fixed costs (simplification scratch,
+  // solver construction, propagation seeding) dwarf the work of a
+  // ten-constraint shard, and typical programs produce hundreds of tiny
+  // shards. Because shards share no variables, simplifying and solving a
+  // group is exactly the concatenation of its members' individual runs —
+  // grouping changes nothing observable but the amortization. When
+  // running parallel, the target shrinks so every worker gets several
+  // units to balance.
+  size_t GroupTarget = 8192;
+  if (Jobs > 1)
+    GroupTarget = std::min(
+        GroupTarget,
+        std::max<size_t>(1, Sys.numConstraints() / (size_t(Jobs) * 4)));
+  std::vector<uint32_t> GroupStart;
+  GroupStart.push_back(0);
+  {
+    size_t Acc = 0;
+    for (uint32_t K = 0; K != NumShards; ++K) {
+      size_t N = Sys.shardConstraints(K).size();
+      if (Acc != 0 && Acc + N > GroupTarget) {
+        GroupStart.push_back(K);
+        Acc = 0;
+      }
+      Acc += N;
+    }
+  }
+  if (NumShards != 0)
+    GroupStart.push_back(static_cast<uint32_t>(NumShards));
+  const size_t NumGroups = GroupStart.size() - 1;
+
+  // Unsharded variables keep their initial domains (they are their own
+  // representatives); every sharded slot is overwritten below.
+  R.StateDom = Sys.StateDom;
+  R.BoolDom = Sys.BoolDom;
+
+  struct GroupWork {
+    SimplifyStats Stats;
+    uint64_t Propagations = 0, Choices = 0, Backtracks = 0;
+  };
+  std::vector<GroupWork> Work(NumGroups);
+  std::atomic<bool> Failed{false};
+
+  auto SolveOne = [&](size_t G) {
+    if (Failed.load(std::memory_order_relaxed))
+      return;
+    const uint32_t KBegin = GroupStart[G], KEnd = GroupStart[G + 1];
+    Stopwatch SW;
+    SimplifiedSystem Simp = simplifyShardRange(Sys, KBegin, KEnd, Ids);
+    Work[G].Stats = Simp.Stats;
+    Work[G].Stats.SimplifySeconds = SW.seconds();
+    if (Simp.Conflict) {
+      Failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    // LargestComponent carries the largest member shard's residual size
+    // (the accumulation below takes the maximum, matching the monolithic
+    // path's largest-residual-component statistic). Member reps occupy
+    // contiguous ascending ranges bounded by the rep of each member's
+    // first state variable, so a rep -> member table buckets the
+    // residual constraints in one linear pass.
+    {
+      const uint32_t Members = KEnd - KBegin;
+      std::vector<uint32_t> MemberOf(Simp.Residual.numStateVars());
+      uint32_t Off = 0;
+      for (uint32_t M = 0; M != Members; ++M) {
+        uint32_t RepBegin = Simp.StateRep[Off];
+        Off += static_cast<uint32_t>(Sys.shardStates(KBegin + M).size());
+        uint32_t RepEnd = Off < Simp.StateRep.size()
+                              ? Simp.StateRep[Off]
+                              : static_cast<uint32_t>(MemberOf.size());
+        for (uint32_t R = RepBegin; R != RepEnd; ++R)
+          MemberOf[R] = M;
+      }
+      std::vector<uint32_t> PerMember(Members, 0);
+      for (const Constraint &C : Simp.Residual.Cons)
+        ++PerMember[MemberOf[C.S1]];
+      for (uint32_t N : PerMember)
+        Work[G].Stats.LargestComponent =
+            std::max<size_t>(Work[G].Stats.LargestComponent, N);
+    }
+    SolverImpl S(Simp.Residual);
+    SolveResult CR = S.run();
+    Work[G].Propagations = CR.Propagations;
+    Work[G].Choices = CR.Choices;
+    Work[G].Backtracks = CR.Backtracks;
+    if (!CR.Sat) {
+      Failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    // StateRep and CR's domains index group-local variables; the shard
+    // tables give the local -> global mapping, member by member.
+    uint32_t SOff = 0, BOff = 0;
+    for (uint32_t K = KBegin; K != KEnd; ++K) {
+      const auto States = Sys.shardStates(K);
+      for (size_t L = 0; L != States.size(); ++L)
+        R.StateDom[States.begin()[L]] = CR.StateDom[Simp.StateRep[SOff + L]];
+      SOff += static_cast<uint32_t>(States.size());
+      const auto Bools = Sys.shardBools(K);
+      for (size_t L = 0; L != Bools.size(); ++L)
+        R.BoolDom[Bools.begin()[L]] = CR.BoolDom[BOff + L];
+      BOff += static_cast<uint32_t>(Bools.size());
+    }
+  };
+
+  if (Jobs <= 1) {
+    for (size_t G = 0; G != NumGroups && !Failed.load(); ++G)
+      SolveOne(G);
+  } else {
+    ThreadPool::global().parallelFor(NumGroups, Jobs, SolveOne);
+  }
+
+  for (const GroupWork &W : Work) {
+    R.Simplify.accumulate(W.Stats);
+    R.Propagations += W.Propagations;
+    R.Choices += W.Choices;
+    R.Backtracks += W.Backtracks;
+  }
+  // The per-group sums cover only sharded variables; unconstrained ones
+  // are one singleton class each on the monolithic path.
+  size_t Unsharded = Sys.numStateVars() - Ids.NumShardedStates;
+  R.Simplify.StateVarsBefore += Unsharded;
+  R.Simplify.StateVarsAfter += Unsharded;
+  R.Simplify.Components = NumShards;
+  R.Simplify.ThreadsUsed =
+      Jobs <= 1 ? 1
+                : std::min<size_t>(Jobs, std::max<size_t>(NumGroups, 1));
+
+  if (Failed.load()) {
+    R.Sat = false;
+    R.StateDom.clear();
+    R.BoolDom.clear();
+    R.Seconds = Watch.seconds();
+    return R;
+  }
+
+  // Booleans in no shard (never in a triple) default to false — no
+  // operation — exactly as the raw solver's final sweep leaves them.
+  for (uint8_t &B : R.BoolDom)
+    if (B == BAny)
+      B = BFalse;
+  R.Sat = true;
+  R.Seconds = Watch.seconds();
+  return R;
+}
+
 } // namespace
+
+unsigned solver::defaultSolverJobs() {
+  // Computed once: the env var is a process-level mode switch (CI runs
+  // the whole suite under AFL_SOLVER_JOBS=4), not a per-run knob.
+  static unsigned Cached = [] {
+    const char *Env = std::getenv("AFL_SOLVER_JOBS");
+    unsigned Jobs = 0;
+    if (Env && !parseCliUnsigned(Env, Jobs))
+      Jobs = 0;
+    return Jobs;
+  }();
+  return Cached;
+}
 
 SolveResult solver::solve(const ConstraintSystem &Sys,
                           const SolveOptions &Options) {
@@ -347,6 +541,9 @@ SolveResult solver::solve(const ConstraintSystem &Sys,
     R.Seconds = Watch.seconds();
     return R;
   }
+
+  if (Options.UseShards)
+    return solveSharded(Sys, Options, Watch);
 
   SolveResult R;
   Stopwatch Phase;

@@ -19,11 +19,14 @@
 ///
 /// By default the system is *preprocessed* first (src/solver/Simplify.h):
 /// equalities are collapsed by union-find, forced triples eliminated,
-/// duplicates dropped, and the residual graph is decomposed into
+/// duplicates dropped, and the constraint graph is decomposed into
 /// connected components solved independently — in parallel above a size
-/// threshold. The solution is then mapped back to the original variable
-/// space, so callers observe the same domains the raw solver produces
-/// (docs/SOLVER.md).
+/// threshold. When the input arrives pre-sharded (ConstraintSystem
+/// finalizes its emission-time union-find into component shards), the
+/// decomposition is free: each shard is simplified and solved on its
+/// own, and the solver never runs component discovery. The solution is
+/// then mapped back to the original variable space, so callers observe
+/// the same domains the raw solver produces (docs/SOLVER.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,18 +39,34 @@
 namespace afl {
 namespace solver {
 
+/// Default for SolveOptions::Jobs: the AFL_SOLVER_JOBS environment
+/// variable when set (a process-level mode switch, mirroring
+/// AFL_CLOSURE_JOBS — CI runs the whole suite under AFL_SOLVER_JOBS=4),
+/// else 0 (all hardware threads, subject to the size gate).
+unsigned defaultSolverJobs();
+
 /// Knobs for the preprocessing layer; the defaults are what production
 /// callers want, the ablation switches back them out (`aflc
-/// --no-simplify`, `--solver-jobs N`).
+/// --no-simplify`, `--solver-jobs N`, `--no-shards`).
 struct SolveOptions {
   /// Run the simplification + component decomposition before solving.
   bool Simplify = true;
+  /// Consume the emission-time shards of the input system (its
+  /// connected components, finalized by the generator's union-find):
+  /// simplify and solve per shard, skipping the solver's own
+  /// component-discovery pass. When false, the pre-sharding monolithic
+  /// path runs: one global simplify, then component discovery on the
+  /// residual. Both produce bit-identical solutions (docs/SOLVER.md);
+  /// the monolithic path is kept for differential testing and for
+  /// callers that mutate a system after first solving it.
+  bool UseShards = true;
   /// Worker threads for the per-component solve; 0 = all hardware
   /// threads, 1 = solve components sequentially.
-  unsigned Jobs = 0;
-  /// Only solve components in parallel when the residual system has at
-  /// least this many constraints (thread startup costs more than small
-  /// solves).
+  unsigned Jobs = defaultSolverJobs();
+  /// Only solve components in parallel when the system has at least this
+  /// many constraints (thread startup costs more than small solves). The
+  /// monolithic path gates on the post-simplification residual size, the
+  /// sharded path on the original size (it has no global residual).
   size_t ParallelMinConstraints = 2048;
 };
 

@@ -8,10 +8,206 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include <cstdlib>
+#include <sys/stat.h>
 
 using namespace afl;
 
 namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique directory under the system temp dir, removed (with its
+/// contents, permissions restored) on scope exit.
+struct ScopedTempDir {
+  fs::path Path;
+  ScopedTempDir() {
+    std::string Templ =
+        (fs::temp_directory_path() / "afl-batch-XXXXXX").string();
+    const char *Made = ::mkdtemp(Templ.data());
+    EXPECT_NE(Made, nullptr);
+    Path = Made ? Made : Templ.c_str();
+  }
+  ~ScopedTempDir() {
+    std::error_code EC;
+    // Re-open anything a test locked down so remove_all can descend.
+    for (fs::recursive_directory_iterator
+             It(Path, fs::directory_options::skip_permission_denied, EC),
+         End;
+         It != End; It.increment(EC)) {
+      if (EC)
+        break;
+      ::chmod(It->path().c_str(), 0755);
+    }
+    fs::remove_all(Path, EC);
+  }
+  void write(const std::string &Rel, const std::string &Text) const {
+    fs::path P = Path / Rel;
+    fs::create_directories(P.parent_path());
+    std::ofstream(P) << Text;
+  }
+};
+
+/// Sorted by name, as aflc's batch mode presents them.
+std::vector<driver::BatchItem> collectSorted(const fs::path &Dir,
+                                             std::string &Error) {
+  std::vector<driver::BatchItem> Work;
+  EXPECT_TRUE(driver::collectBatchItems(Dir.string(), Work, Error)) << Error;
+  std::sort(Work.begin(), Work.end(),
+            [](const driver::BatchItem &A, const driver::BatchItem &B) {
+              return A.Name < B.Name;
+            });
+  return Work;
+}
+
+TEST(CollectBatchItems, WalksNestedDirsWithRelativeNames) {
+  ScopedTempDir Tmp;
+  Tmp.write("a.afl", "1 + 2");
+  Tmp.write("sub/b.afl", "2 * 3");
+  Tmp.write("sub/deeper/c.afl", "4 - 1");
+  Tmp.write("notes.txt", "not a program");
+  std::string Error;
+  std::vector<driver::BatchItem> Work = collectSorted(Tmp.Path, Error);
+  ASSERT_EQ(Work.size(), 3u);
+  EXPECT_EQ(Work[0].Name, "a.afl");
+  EXPECT_EQ(Work[0].Source, "1 + 2");
+  EXPECT_TRUE(Work[0].LoadError.empty());
+  EXPECT_EQ(Work[1].Name, "sub/b.afl");
+  EXPECT_EQ(Work[2].Name, "sub/deeper/c.afl");
+}
+
+TEST(CollectBatchItems, MissingRootIsBatchLevelError) {
+  ScopedTempDir Tmp;
+  std::vector<driver::BatchItem> Work;
+  std::string Error;
+  EXPECT_FALSE(driver::collectBatchItems(
+      (Tmp.Path / "does-not-exist").string(), Work, Error));
+  EXPECT_NE(Error.find("cannot read directory"), std::string::npos);
+  EXPECT_TRUE(Work.empty());
+}
+
+TEST(CollectBatchItems, EmptyAfterFilterYieldsEmptyWork) {
+  // A readable directory with no .afl files is not an error from the
+  // walker's point of view; the caller decides what an empty batch
+  // means.
+  ScopedTempDir Tmp;
+  Tmp.write("readme.md", "# nothing to run");
+  Tmp.write("sub/data.json", "{}");
+  std::vector<driver::BatchItem> Work;
+  std::string Error;
+  EXPECT_TRUE(driver::collectBatchItems(Tmp.Path.string(), Work, Error));
+  EXPECT_TRUE(Work.empty());
+}
+
+TEST(CollectBatchItems, DanglingSymlinkBecomesFailedItem) {
+  ScopedTempDir Tmp;
+  Tmp.write("good.afl", "1 + 2");
+  std::error_code EC;
+  fs::create_symlink(Tmp.Path / "nowhere.afl", Tmp.Path / "broken.afl", EC);
+  ASSERT_FALSE(EC) << EC.message();
+  std::string Error;
+  std::vector<driver::BatchItem> Work = collectSorted(Tmp.Path, Error);
+  ASSERT_EQ(Work.size(), 2u);
+  EXPECT_EQ(Work[0].Name, "broken.afl");
+  EXPECT_FALSE(Work[0].LoadError.empty());
+  EXPECT_EQ(Work[1].Name, "good.afl");
+  EXPECT_TRUE(Work[1].LoadError.empty());
+
+  // The failed item flows through runBatch as a failed row; the sibling
+  // still runs.
+  driver::BatchResult B =
+      driver::runBatch(Work, driver::PipelineOptions(), 2);
+  EXPECT_EQ(B.NumOk, 1u);
+  EXPECT_EQ(B.NumFailed, 1u);
+  EXPECT_EQ(B.Items[1].ResultText, "3");
+}
+
+TEST(CollectBatchItems, UnreadableSubdirBecomesFailedItem) {
+  ScopedTempDir Tmp;
+  Tmp.write("good.afl", "1 + 2");
+  Tmp.write("locked/hidden.afl", "2 + 2");
+  ASSERT_EQ(::chmod((Tmp.Path / "locked").c_str(), 0000), 0);
+  // Root ignores permission bits; the denial this test needs never
+  // happens then, so probe first.
+  std::error_code Probe;
+  fs::directory_iterator It(Tmp.Path / "locked", Probe);
+  if (!Probe)
+    GTEST_SKIP() << "directory permissions not enforced (running as root)";
+  std::string Error;
+  std::vector<driver::BatchItem> Work = collectSorted(Tmp.Path, Error);
+  ASSERT_EQ(Work.size(), 2u);
+  EXPECT_EQ(Work[0].Name, "good.afl");
+  EXPECT_TRUE(Work[0].LoadError.empty());
+  EXPECT_EQ(Work[1].Name, "locked");
+  EXPECT_NE(Work[1].LoadError.find("cannot read directory"),
+            std::string::npos);
+}
+
+TEST(CollectBatchItems, FaultySiblingsSurviveFullBatchRun) {
+  // The acceptance scenario end to end: a directory holding a
+  // permission-denied subdirectory, a dangling symlink, and a 100k-deep
+  // nested .afl program must produce a complete batch — failed rows for
+  // the faults, results for the healthy items, no crash, no stack
+  // overflow.
+  ScopedTempDir Tmp;
+  Tmp.write("ok.afl", "21 * 2");
+  Tmp.write("locked/hidden.afl", "1");
+  ::chmod((Tmp.Path / "locked").c_str(), 0000); // no-op as root; still walked
+  std::error_code EC;
+  fs::create_symlink(Tmp.Path / "gone.afl", Tmp.Path / "dangling.afl", EC);
+  ASSERT_FALSE(EC) << EC.message();
+  const int Depth = 100000;
+  std::string Deep(static_cast<size_t>(Depth), '(');
+  Deep += "1";
+  Deep.append(static_cast<size_t>(Depth), ')');
+  Tmp.write("deep.afl", Deep);
+
+  std::string Error;
+  std::vector<driver::BatchItem> Work = collectSorted(Tmp.Path, Error);
+  driver::BatchResult B =
+      driver::runBatch(Work, driver::PipelineOptions(), 2);
+  ASSERT_EQ(B.Items.size(), Work.size());
+  EXPECT_GE(B.NumFailed, 2u); // dangling symlink + depth-limited parse
+  bool SawOk = false, SawDeep = false, SawDangling = false;
+  for (const driver::BatchItemResult &Item : B.Items) {
+    if (Item.Name == "ok.afl") {
+      SawOk = true;
+      EXPECT_TRUE(Item.Ok);
+      EXPECT_EQ(Item.ResultText, "42");
+    } else if (Item.Name == "deep.afl") {
+      SawDeep = true;
+      EXPECT_FALSE(Item.Ok);
+      EXPECT_NE(Item.Error.find("expression nesting too deep"),
+                std::string::npos);
+    } else if (Item.Name == "dangling.afl") {
+      SawDangling = true;
+      EXPECT_FALSE(Item.Ok);
+      EXPECT_FALSE(Item.Error.empty());
+    }
+  }
+  EXPECT_TRUE(SawOk);
+  EXPECT_TRUE(SawDeep);
+  EXPECT_TRUE(SawDangling);
+}
+
+TEST(CollectBatchItems, EmptyFileIsALegitimateItem) {
+  // An empty .afl reads as an empty source (failbit on rdbuf insert is
+  // not a read error); it then fails in the parser like any other bad
+  // program, not in the loader.
+  ScopedTempDir Tmp;
+  Tmp.write("empty.afl", "");
+  std::string Error;
+  std::vector<driver::BatchItem> Work = collectSorted(Tmp.Path, Error);
+  ASSERT_EQ(Work.size(), 1u);
+  EXPECT_TRUE(Work[0].LoadError.empty());
+  EXPECT_TRUE(Work[0].Source.empty());
+  driver::BatchResult B =
+      driver::runBatch(Work, driver::PipelineOptions(), 1);
+  EXPECT_EQ(B.NumFailed, 1u);
+}
 
 std::vector<driver::BatchItem> corpusWork() {
   std::vector<driver::BatchItem> Work;

@@ -71,4 +71,69 @@ TEST_P(MutationFuzz, MutatedCorpusFailsCleanlyOrRunsSoundly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz, ::testing::Range(0u, 150u));
 
+/// `if c then t else` nested \p Levels deep in the else branch, closed
+/// with a literal. Each level costs about one unit of parser depth.
+std::string nestedIfs(int Levels) {
+  std::string Src;
+  for (int I = 0; I != Levels; ++I)
+    Src += "if 1 <= 0 then 0 else ";
+  Src += "1";
+  return Src;
+}
+
+TEST(DeepNesting, WellBelowLimitParses) {
+  // Deep but legal nesting must still parse: the guard exists to stop
+  // runaway recursion, not to reject real programs.
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr(nestedIfs(1500), Ctx, Diags);
+  EXPECT_NE(E, nullptr);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(DeepNesting, AboveLimitFailsWithDiagnostic) {
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr(nestedIfs(2500), Ctx, Diags);
+  EXPECT_EQ(E, nullptr);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("expression nesting too deep"),
+            std::string::npos);
+}
+
+TEST(DeepNesting, HundredThousandParensNoStackOverflow) {
+  // The acceptance scenario: a 100k-deep expression must be rejected
+  // through the diagnostics engine, not by exhausting the stack. Each
+  // parenthesis level costs several recursive frames, so without the
+  // depth guard this input crashes long before the lexer runs out of
+  // tokens.
+  const int Depth = 100000;
+  std::string Src(static_cast<size_t>(Depth), '(');
+  Src += "1";
+  Src.append(static_cast<size_t>(Depth), ')');
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr(Src, Ctx, Diags);
+  EXPECT_EQ(E, nullptr);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("expression nesting too deep"),
+            std::string::npos);
+}
+
+TEST(DeepNesting, DeepConsChainRejectedCleanly) {
+  // The right-recursive `::` production is its own recursion path
+  // through parseCons; it must hit the same guard.
+  std::string Src;
+  for (int I = 0; I != 100000; ++I)
+    Src += "1 :: ";
+  Src += "nil";
+  ast::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  const ast::Expr *E = parseExpr(Src, Ctx, Diags);
+  EXPECT_EQ(E, nullptr);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("expression nesting too deep"),
+            std::string::npos);
+}
+
 } // namespace

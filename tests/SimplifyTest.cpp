@@ -222,6 +222,158 @@ TEST(Components, SingleComponentFallback) {
   EXPECT_TRUE(RPar.BoolDom[Bs.back()] == BTrue);
 }
 
+/// A small multi-shard fixture: N disjoint alloc chains, each pinned to
+/// end in A so the solve is forced to pick the late allocation.
+ConstraintSystem chainsSystem(int Chains, int Len) {
+  ConstraintSystem Sys;
+  for (int Chain = 0; Chain != Chains; ++Chain) {
+    StateVarId Prev = Sys.newState(StU);
+    for (int I = 0; I != Len; ++I) {
+      StateVarId Next = Sys.newState();
+      BoolVarId B = Sys.newBool();
+      if (I % 3 == 2)
+        Sys.addEq(Prev, Next);
+      else
+        Sys.addAllocTriple(Prev, B, Next);
+      Prev = Next;
+    }
+    Sys.restrictState(Prev, StA);
+  }
+  return Sys;
+}
+
+void expectSameConstraint(const Constraint &A, const Constraint &B) {
+  EXPECT_EQ(A.K, B.K);
+  EXPECT_EQ(A.S1, B.S1);
+  EXPECT_EQ(A.S2, B.S2);
+  EXPECT_EQ(A.B, B.B);
+}
+
+TEST(Shards, EmissionShardsMatchSplitComponents) {
+  // The emission-time union-find must finalize into exactly the
+  // components splitComponents discovers, in the same deterministic
+  // order (ascending smallest state variable) with the same ascending
+  // member lists.
+  ConstraintSystem Sys = chainsSystem(7, 9);
+  ComponentSplit Split = splitComponents(Sys);
+  ASSERT_EQ(Sys.numShards(), Split.Comps.size());
+  for (uint32_t K = 0; K != Sys.numShards(); ++K) {
+    const Component &C = Split.Comps[K];
+    ConstraintSystem::OccRange States = Sys.shardStates(K);
+    ConstraintSystem::OccRange Bools = Sys.shardBools(K);
+    ASSERT_EQ(States.size(), C.StateGlobal.size());
+    ASSERT_EQ(Bools.size(), C.BoolGlobal.size());
+    EXPECT_TRUE(std::equal(States.begin(), States.end(),
+                           C.StateGlobal.begin()));
+    EXPECT_TRUE(std::equal(Bools.begin(), Bools.end(),
+                           C.BoolGlobal.begin()));
+    EXPECT_EQ(Sys.shardConstraints(K).size(), C.Sys.numConstraints());
+  }
+  EXPECT_EQ(Sys.largestShardConstraints(), Split.LargestConstraints);
+}
+
+TEST(Shards, UntrackedRebuildMatchesIncremental) {
+  // disableConnectivityTracking() skips the per-constraint union-find;
+  // ensureShards then rebuilds it in one batch pass. Both routes must
+  // produce identical CSR tables.
+  ConstraintSystem Tracked = chainsSystem(5, 8);
+  ConstraintSystem Scratch = chainsSystem(5, 8);
+  Scratch.disableConnectivityTracking();
+  ASSERT_EQ(Tracked.numShards(), Scratch.numShards());
+  for (uint32_t K = 0; K != Tracked.numShards(); ++K) {
+    ConstraintSystem::OccRange A = Tracked.shardStates(K);
+    ConstraintSystem::OccRange B = Scratch.shardStates(K);
+    ASSERT_EQ(A.size(), B.size());
+    EXPECT_TRUE(std::equal(A.begin(), A.end(), B.begin()));
+    ConstraintSystem::OccRange CA = Tracked.shardConstraints(K);
+    ConstraintSystem::OccRange CB = Scratch.shardConstraints(K);
+    ASSERT_EQ(CA.size(), CB.size());
+    EXPECT_TRUE(std::equal(CA.begin(), CA.end(), CB.begin()));
+  }
+}
+
+TEST(Shards, SharedBooleanMergesShards) {
+  // Same topology as Components.SharedBooleanMergesComponents, observed
+  // through the emission-time index.
+  ConstraintSystem Sys;
+  StateVarId A1 = Sys.newState();
+  StateVarId A2 = Sys.newState();
+  StateVarId B1 = Sys.newState();
+  StateVarId B2 = Sys.newState();
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(A1, B, A2);
+  Sys.addAllocTriple(B1, B, B2);
+  EXPECT_EQ(Sys.numShards(), 1u);
+  EXPECT_EQ(Sys.shardStates(0).size(), 4u);
+  EXPECT_EQ(Sys.shardBools(0).size(), 1u);
+}
+
+TEST(Shards, SelfTripleFormsSingletonShard) {
+  // Degenerate triple S -B-> S: only one state variable is involved, so
+  // no merge happens, but S is constrained and must still surface as a
+  // (singleton) shard holding the boolean.
+  ConstraintSystem Sys;
+  Sys.newState(); // unconstrained; belongs to no shard
+  StateVarId S = Sys.newState();
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(S, B, S);
+  ASSERT_EQ(Sys.numShards(), 1u);
+  ASSERT_EQ(Sys.shardStates(0).size(), 1u);
+  EXPECT_EQ(*Sys.shardStates(0).begin(), S);
+  ASSERT_EQ(Sys.shardBools(0).size(), 1u);
+  EXPECT_EQ(*Sys.shardBools(0).begin(), B);
+  EXPECT_EQ(Sys.shardConstraints(0).size(), 1u);
+}
+
+TEST(Shards, SimplifyShardMatchesMaterializedSimplify) {
+  // simplifyShard consumes the CSR index in place; its contract is
+  // bit-identical output to simplify() over the materialized component.
+  ConstraintSystem Sys = chainsSystem(6, 7);
+  ShardLocalIds Ids = buildShardLocalIds(Sys);
+  for (uint32_t K = 0; K != Sys.numShards(); ++K) {
+    SimplifiedSystem Direct = simplifyShard(Sys, K, Ids);
+    SimplifiedSystem Mat = simplify(materializeShard(Sys, K, Ids).Sys);
+    ASSERT_EQ(Direct.Conflict, Mat.Conflict);
+    ASSERT_EQ(Direct.Residual.numConstraints(), Mat.Residual.numConstraints());
+    for (size_t I = 0; I != Direct.Residual.Cons.size(); ++I)
+      expectSameConstraint(Direct.Residual.Cons[I], Mat.Residual.Cons[I]);
+    EXPECT_EQ(Direct.Residual.StateDom, Mat.Residual.StateDom);
+    EXPECT_EQ(Direct.Residual.BoolDom, Mat.Residual.BoolDom);
+    EXPECT_EQ(Direct.StateRep, Mat.StateRep);
+  }
+}
+
+TEST(Shards, SimplifyShardRangeIsConcatenation) {
+  // A contiguous range of shards simplifies to the exact concatenation
+  // of the members' individual simplifications: residual constraints in
+  // member order with representative ids offset by the preceding
+  // members' representative counts, and boolean ids offset by the
+  // preceding members' shard-local boolean counts.
+  ConstraintSystem Sys = chainsSystem(6, 7);
+  ShardLocalIds Ids = buildShardLocalIds(Sys);
+  const uint32_t N = static_cast<uint32_t>(Sys.numShards());
+  ASSERT_GT(N, 2u);
+  SimplifiedSystem Whole = simplifyShardRange(Sys, 0, N, Ids);
+  ASSERT_FALSE(Whole.Conflict);
+  size_t ConsAt = 0, RepOff = 0, BoolOff = 0;
+  for (uint32_t K = 0; K != N; ++K) {
+    SimplifiedSystem Part = simplifyShard(Sys, K, Ids);
+    ASSERT_FALSE(Part.Conflict);
+    ASSERT_LE(ConsAt + Part.Residual.Cons.size(), Whole.Residual.Cons.size());
+    for (const Constraint &C : Part.Residual.Cons) {
+      Constraint Shifted = C;
+      Shifted.S1 += static_cast<StateVarId>(RepOff);
+      Shifted.S2 += static_cast<StateVarId>(RepOff);
+      Shifted.B += static_cast<BoolVarId>(BoolOff);
+      expectSameConstraint(Whole.Residual.Cons[ConsAt++], Shifted);
+    }
+    RepOff += Part.Residual.numStateVars();
+    BoolOff += Sys.shardBools(K).size();
+  }
+  EXPECT_EQ(ConsAt, Whole.Residual.Cons.size());
+  EXPECT_EQ(RepOff, Whole.Residual.numStateVars());
+}
+
 TEST(Components, ParallelMultiComponentMatchesSequential) {
   // Many independent chains: force the parallel path and compare
   // against both the sequential-simplified and the raw solve.

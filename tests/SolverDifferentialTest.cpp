@@ -41,7 +41,16 @@ void expectSolveModesAgree(const std::string &Source, const char *Label) {
   RawOpts.Simplify = false;
   SolveResult Raw = solve(Gen.Sys, RawOpts);
 
+  // Default mode: per-shard simplify + solve over the shards recorded
+  // by the emission-time union-find.
   SolveResult Simplified = solve(Gen.Sys);
+
+  // Monolithic mode: same preprocessing, but the emission shards are
+  // ignored — one whole-system simplify, components discovered (or just
+  // counted) at solve time. This is the pre-sharding pipeline.
+  SolveOptions MonoOpts;
+  MonoOpts.UseShards = false;
+  SolveResult Mono = solve(Gen.Sys, MonoOpts);
 
   SolveOptions ParOpts;
   ParOpts.Jobs = 4;
@@ -49,6 +58,7 @@ void expectSolveModesAgree(const std::string &Source, const char *Label) {
   SolveResult Parallel = solve(Gen.Sys, ParOpts);
 
   ASSERT_EQ(Raw.Sat, Simplified.Sat) << Label;
+  ASSERT_EQ(Raw.Sat, Mono.Sat) << Label;
   ASSERT_EQ(Raw.Sat, Parallel.Sat) << Label;
   ASSERT_TRUE(Raw.Sat) << Label
                        << ": the conservative completion witnesses "
@@ -56,6 +66,10 @@ void expectSolveModesAgree(const std::string &Source, const char *Label) {
                           "must be Sat";
   EXPECT_EQ(Raw.StateDom, Simplified.StateDom) << Label;
   EXPECT_EQ(Raw.BoolDom, Simplified.BoolDom) << Label;
+  // Sharded emission must be solution-preserving: bit-identical domains
+  // against the monolithic pipeline, not merely equisatisfiable.
+  EXPECT_EQ(Mono.StateDom, Simplified.StateDom) << Label;
+  EXPECT_EQ(Mono.BoolDom, Simplified.BoolDom) << Label;
   EXPECT_EQ(Simplified.StateDom, Parallel.StateDom) << Label;
   EXPECT_EQ(Simplified.BoolDom, Parallel.BoolDom) << Label;
 

@@ -226,4 +226,119 @@ TEST(Solver, LongChainScales) {
   EXPECT_TRUE(R.boolValue(Bs.back()));
 }
 
+/// Many independent pinned chains — a multi-shard system for exercising
+/// the sharded solve path end to end.
+ConstraintSystem multiChainSystem(int Chains, int Len,
+                                  std::vector<BoolVarId> *LastBools) {
+  ConstraintSystem Sys;
+  for (int Chain = 0; Chain != Chains; ++Chain) {
+    StateVarId Prev = Sys.newState(StU);
+    BoolVarId Last = 0;
+    for (int I = 0; I != Len; ++I) {
+      StateVarId Next = Sys.newState();
+      BoolVarId B = Sys.newBool();
+      Sys.addAllocTriple(Prev, B, Next);
+      Last = B;
+      Prev = Next;
+    }
+    Sys.restrictState(Prev, StA);
+    if (LastBools)
+      LastBools->push_back(Last);
+  }
+  return Sys;
+}
+
+TEST(Solver, ShardedMatchesMonolithicAndRaw) {
+  // The three pipelines — sharded (default), monolithic (UseShards off),
+  // and raw (no preprocessing) — must agree bit-for-bit.
+  std::vector<BoolVarId> LastBools;
+  ConstraintSystem Sys = multiChainSystem(12, 15, &LastBools);
+  EXPECT_EQ(Sys.numShards(), 12u);
+
+  SolveResult Sharded = solve(Sys);
+  SolveOptions MonoOpts;
+  MonoOpts.UseShards = false;
+  SolveResult Mono = solve(Sys, MonoOpts);
+  SolveOptions RawOpts;
+  RawOpts.Simplify = false;
+  SolveResult Raw = solve(Sys, RawOpts);
+
+  ASSERT_TRUE(Sharded.Sat);
+  ASSERT_TRUE(Mono.Sat);
+  ASSERT_TRUE(Raw.Sat);
+  EXPECT_EQ(Sharded.StateDom, Mono.StateDom);
+  EXPECT_EQ(Sharded.BoolDom, Mono.BoolDom);
+  EXPECT_EQ(Sharded.StateDom, Raw.StateDom);
+  EXPECT_EQ(Sharded.BoolDom, Raw.BoolDom);
+  // The sharded path reports the emission shards as its components, with
+  // no component-discovery pass of its own.
+  EXPECT_EQ(Sharded.Simplify.Components, 12u);
+  // Late allocation chosen in every chain.
+  for (BoolVarId B : LastBools)
+    EXPECT_TRUE(Sharded.boolValue(B));
+}
+
+TEST(Solver, ShardedParallelJobsMatchSequential) {
+  ConstraintSystem Sys = multiChainSystem(12, 15, nullptr);
+  SolveOptions Par;
+  Par.Jobs = 4;
+  Par.ParallelMinConstraints = 0;
+  SolveResult RPar = solve(Sys, Par);
+  SolveResult RSeq = solve(Sys);
+  ASSERT_TRUE(RPar.Sat);
+  EXPECT_GT(RPar.Simplify.ThreadsUsed, 1u);
+  EXPECT_EQ(RPar.StateDom, RSeq.StateDom);
+  EXPECT_EQ(RPar.BoolDom, RSeq.BoolDom);
+}
+
+TEST(Solver, UnsatShardFailsWholeSystem) {
+  // One inconsistent shard among many healthy ones must surface as
+  // global Unsat on every path, including the parallel one (workers
+  // cannot return a partial success).
+  ConstraintSystem Sys = multiChainSystem(6, 10, nullptr);
+  StateVarId S1 = Sys.newState(StA);
+  StateVarId S2 = Sys.newState(StD);
+  Sys.addEq(S1, S2);
+  SolveResult Sharded = solve(Sys);
+  EXPECT_FALSE(Sharded.Sat);
+  SolveOptions MonoOpts;
+  MonoOpts.UseShards = false;
+  EXPECT_FALSE(solve(Sys, MonoOpts).Sat);
+  SolveOptions Par;
+  Par.Jobs = 4;
+  Par.ParallelMinConstraints = 0;
+  EXPECT_FALSE(solve(Sys, Par).Sat);
+}
+
+TEST(Solver, ShardedHandlesUnconstrainedVariables) {
+  // Variables outside every shard keep their initial domains; unforced
+  // booleans default to false — same conventions as the monolithic path.
+  ConstraintSystem Sys;
+  StateVarId Free = Sys.newState(StD);
+  BoolVarId FreeB = Sys.newBool();
+  StateVarId S1 = Sys.newState(StU);
+  StateVarId S2 = Sys.newState(StA);
+  BoolVarId B = Sys.newBool();
+  Sys.addAllocTriple(S1, B, S2);
+  SolveResult R = solve(Sys);
+  ASSERT_TRUE(R.Sat);
+  EXPECT_EQ(R.StateDom[Free], StD);
+  EXPECT_EQ(R.BoolDom[FreeB], BFalse);
+  EXPECT_TRUE(R.boolValue(B));
+}
+
+TEST(Solver, ZeroedDomainOutsideShardsUnsat) {
+  // A domain emptied by restrictState on a variable no constraint
+  // mentions: the sharded path's global pre-scan must catch it even
+  // though the variable belongs to no shard.
+  ConstraintSystem Sys = multiChainSystem(3, 5, nullptr);
+  StateVarId S = Sys.newState();
+  Sys.restrictState(S, StA);
+  Sys.restrictState(S, StD); // A & D = empty
+  EXPECT_FALSE(solve(Sys).Sat);
+  SolveOptions MonoOpts;
+  MonoOpts.UseShards = false;
+  EXPECT_FALSE(solve(Sys, MonoOpts).Sat);
+}
+
 } // namespace

@@ -48,7 +48,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -69,6 +68,7 @@ void usage() {
       "  --no-freeapp --lexical-alloc --lexical-free   ablations\n"
       "  --closure-restart   reference closure fixpoint (restart mode)\n"
       "  --no-simplify       solve the raw constraint system\n"
+      "  --no-shards         ignore emission-time shards (monolithic solve)\n"
       "  --solver-jobs N     threads for the per-component solve\n"
       "  --closure-jobs N    threads for the closure analysis\n"
       "  --dump-constraints  print the generated constraint system\n"
@@ -135,32 +135,15 @@ bool emitJson(const std::string &File, const std::string &Json) {
 int runBatchMode(const std::string &Dir, const driver::PipelineOptions &Options,
                  unsigned Threads, bool Timings, bool Metrics,
                  const std::string &MetricsFile) {
-  namespace fs = std::filesystem;
-  std::error_code EC;
+  // The walk is fault-tolerant (driver::collectBatchItems): unreadable
+  // subdirectories, dangling symlinks, and files that fail mid-read
+  // become failed batch items — visible in the summary and the metrics
+  // JSON — while the rest of the batch still runs. Only an unreadable
+  // root directory aborts the batch.
   std::vector<driver::BatchItem> Work;
-  for (const fs::directory_entry &Entry :
-       fs::recursive_directory_iterator(Dir, EC)) {
-    if (!Entry.is_regular_file() || Entry.path().extension() != ".afl")
-      continue;
-    std::string Name = fs::relative(Entry.path(), Dir).string();
-    std::ifstream In(Entry.path());
-    if (!In) {
-      // Per-item isolation: an unreadable file becomes a failed batch
-      // item (visible in the summary row and metrics JSON); the rest of
-      // the batch still runs.
-      driver::BatchItem Item;
-      Item.Name = std::move(Name);
-      Item.LoadError = "cannot open '" + Entry.path().string() + "'";
-      Work.push_back(std::move(Item));
-      continue;
-    }
-    std::ostringstream SS;
-    SS << In.rdbuf();
-    Work.push_back({std::move(Name), SS.str(), ""});
-  }
-  if (EC) {
-    std::fprintf(stderr, "aflc: cannot read directory '%s': %s\n",
-                 Dir.c_str(), EC.message().c_str());
+  std::string Error;
+  if (!driver::collectBatchItems(Dir, Work, Error)) {
+    std::fprintf(stderr, "aflc: %s\n", Error.c_str());
     return 1;
   }
   if (Work.empty()) {
@@ -278,6 +261,8 @@ int main(int Argc, char **Argv) {
       Threads = parseJobsArg("-j", Arg.c_str() + 2);
     } else if (Arg == "--no-simplify") {
       Solve.Simplify = false;
+    } else if (Arg == "--no-shards") {
+      Solve.UseShards = false;
     } else if (Arg == "--solver-jobs") {
       if (++I >= Argc) {
         usage();

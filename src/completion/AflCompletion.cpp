@@ -12,6 +12,39 @@ using namespace afl;
 using namespace afl::completion;
 using namespace afl::regions;
 
+Completion completion::extractCompletion(const constraints::GenResult &Gen,
+                                         const solver::SolveResult &Sol) {
+  Completion Out;
+  for (const constraints::ChoicePoint &CP : Gen.Choices) {
+    if (!Sol.boolValue(CP.B))
+      continue;
+    switch (CP.Kind) {
+    case COpKind::AllocBefore:
+    case COpKind::FreeBefore:
+      Out.Pre[CP.Node].push_back({CP.Kind, CP.Region});
+      break;
+    case COpKind::AllocAfter:
+    case COpKind::FreeAfter:
+      Out.Post[CP.Node].push_back({CP.Kind, CP.Region});
+      break;
+    case COpKind::FreeApp:
+      Out.FreeApp[CP.Node].push_back({CP.Kind, CP.Region});
+      break;
+    }
+  }
+  // Ops at one point fire in ascending region order — the same
+  // sequentialization order used by constraint generation.
+  auto SortOps = [](std::unordered_map<RNodeId, std::vector<COp>> &M) {
+    for (auto &[Node, Ops] : M)
+      std::sort(Ops.begin(), Ops.end(),
+                [](const COp &A, const COp &B) { return A.Region < B.Region; });
+  };
+  SortOps(Out.Pre);
+  SortOps(Out.Post);
+  SortOps(Out.FreeApp);
+  return Out;
+}
+
 Completion completion::aflCompletion(const RegionProgram &Prog,
                                      AflStats *Stats,
                                      const constraints::GenOptions &Options,
@@ -65,34 +98,7 @@ Completion completion::aflCompletion(const RegionProgram &Prog,
   if (!Sol.Sat)
     return conservativeCompletion(Prog);
 
-  Completion Out;
-  for (const constraints::ChoicePoint &CP : Gen.Choices) {
-    if (!Sol.boolValue(CP.B))
-      continue;
-    switch (CP.Kind) {
-    case COpKind::AllocBefore:
-    case COpKind::FreeBefore:
-      Out.Pre[CP.Node].push_back({CP.Kind, CP.Region});
-      break;
-    case COpKind::AllocAfter:
-    case COpKind::FreeAfter:
-      Out.Post[CP.Node].push_back({CP.Kind, CP.Region});
-      break;
-    case COpKind::FreeApp:
-      Out.FreeApp[CP.Node].push_back({CP.Kind, CP.Region});
-      break;
-    }
-  }
-  // Ops at one point fire in ascending region order — the same
-  // sequentialization order used by constraint generation.
-  auto SortOps = [](std::unordered_map<RNodeId, std::vector<COp>> &M) {
-    for (auto &[Node, Ops] : M)
-      std::sort(Ops.begin(), Ops.end(),
-                [](const COp &A, const COp &B) { return A.Region < B.Region; });
-  };
-  SortOps(Out.Pre);
-  SortOps(Out.Post);
-  SortOps(Out.FreeApp);
+  Completion Out = extractCompletion(Gen, Sol);
   if (Stats)
     Stats->ExtractSeconds = Watch.seconds();
   return Out;

@@ -60,6 +60,14 @@ struct AflStats {
 /// \p Solve configures the solver's preprocessing layer (see
 /// solver::SolveOptions); \p ClosureOpts selects the closure fixpoint
 /// mode and caps (see closure::ClosureOptions).
+/// Extracts the completion operations chosen by a satisfiable solution:
+/// every true choice boolean becomes an op at its node, sorted in
+/// ascending region order per point (the sequentialization order used by
+/// constraint generation). Exposed for callers that drive the pipeline
+/// stages themselves (the analysis server); aflCompletion uses it too.
+regions::Completion extractCompletion(const constraints::GenResult &Gen,
+                                      const solver::SolveResult &Sol);
+
 regions::Completion
 aflCompletion(const regions::RegionProgram &Prog, AflStats *Stats = nullptr,
               const constraints::GenOptions &Options =

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural diff between two revisions of a region program, classifying
+/// an edit for the analysis server (docs/SERVER.md):
+///
+///   * Identical / LiteralsOnly — the revisions are node-for-node
+///     isomorphic under identity id maps and raw-equal annotations;
+///     LiteralsOnly additionally tolerates differing Int/Bool payloads.
+///     No downstream consumer the server exposes reads literal values
+///     (the closure analysis, constraint generation, the solver and the
+///     completion report are all literal-blind), so the previous
+///     revision's entire analysis is reusable byte-for-byte.
+///   * Subtree — exactly one structural break, both the removed and the
+///     inserted subtree are *arrow-free* (no Lambda/Letrec/RegApp node,
+///     no node whose type contains an arrow anywhere), and everything
+///     outside the break maps 1:1 (nodes, variables, and every region
+///     variable the closure analysis reads). Arrow-free subtrees have
+///     provably empty abstract closure values throughout, so they
+///     contribute nothing to any outside closure table — which is what
+///     makes ClosureAnalysis::runIncremental's seeded worklist restart
+///     exact rather than approximate.
+///   * Unmapped — anything else; the caller re-analyzes from scratch
+///     (always correct, never wrong — just slower).
+///
+/// The classifier is deliberately conservative: any surprise (an id map
+/// conflict, a region-annotation mismatch the closure analysis could
+/// observe, a second break) degrades to Unmapped rather than risking an
+/// unsound seed. tests/ServerTest.cpp differentially proves that every
+/// classification produces byte-identical reports and solver domains to
+/// from-scratch analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_DRIVER_INCREMENTAL_H
+#define AFL_DRIVER_INCREMENTAL_H
+
+#include "closure/ClosureAnalysis.h"
+#include "regions/RegionProgram.h"
+
+namespace afl {
+namespace driver {
+
+enum class DiffKind {
+  /// Isomorphic under identity maps, all payloads equal.
+  Identical,
+  /// Isomorphic under identity maps; only Int/Bool payloads differ.
+  LiteralsOnly,
+  /// Exactly one arrow-free subtree replaced; Seed is valid.
+  Subtree,
+  /// No incremental mapping found; fall back to full re-analysis.
+  Unmapped,
+};
+
+struct ProgramDiff {
+  DiffKind Kind = DiffKind::Unmapped;
+  /// Valid iff Kind == Subtree: the translation maps plus the restart
+  /// frontier for ClosureAnalysis::runIncremental.
+  closure::IncrementalSeed Seed;
+};
+
+/// Diffs \p Old against \p New (two finalized region programs for two
+/// revisions of the same source document).
+ProgramDiff diffPrograms(const regions::RegionProgram &Old,
+                         const regions::RegionProgram &New);
+
+} // namespace driver
+} // namespace afl
+
+#endif // AFL_DRIVER_INCREMENTAL_H

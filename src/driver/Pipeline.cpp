@@ -227,38 +227,49 @@ std::string PipelineResult::formatTimings() const {
   return driver::formatTimings(Stats, Analysis);
 }
 
+FrontEnd driver::runFrontEnd(std::string_view Source,
+                             DiagnosticEngine &Diags) {
+  FrontEnd F;
+  F.Ctx = std::make_unique<ast::ASTContext>();
+  Stopwatch Watch;
+
+  F.Ast = parseExpr(Source, *F.Ctx, Diags);
+  F.ParseSeconds = Watch.seconds();
+  if (!F.Ast)
+    return F;
+
+  Watch.reset();
+  types::TypedProgram Typed = types::inferTypes(F.Ast, *F.Ctx, Diags);
+  F.TypeInferSeconds = Watch.seconds();
+  if (!Typed.Success)
+    return F;
+
+  Watch.reset();
+  F.Prog = regions::inferRegions(F.Ast, *F.Ctx, Typed, Diags);
+  F.RegionInferSeconds = Watch.seconds();
+  return F;
+}
+
 PipelineResult driver::runPipeline(std::string_view Source,
                                    const PipelineOptions &Options) {
   PipelineResult R;
-  R.Ctx = std::make_unique<ast::ASTContext>();
   Stopwatch Total;
-  Stopwatch Watch;
 
-  R.Ast = parseExpr(Source, *R.Ctx, R.Diags);
-  R.Stats.ParseSeconds = Watch.seconds();
+  FrontEnd F = runFrontEnd(Source, R.Diags);
+  R.Ctx = std::move(F.Ctx);
+  R.Ast = F.Ast;
+  R.Prog = std::move(F.Prog);
+  R.Stats.ParseSeconds = F.ParseSeconds;
+  R.Stats.TypeInferSeconds = F.TypeInferSeconds;
+  R.Stats.RegionInferSeconds = F.RegionInferSeconds;
   R.Stats.AstNodes = R.Ctx->numNodes();
-  if (!R.Ast) {
-    R.Stats.TotalSeconds = Total.seconds();
-    return R;
-  }
-
-  Watch.reset();
-  types::TypedProgram Typed = types::inferTypes(R.Ast, *R.Ctx, R.Diags);
-  R.Stats.TypeInferSeconds = Watch.seconds();
-  if (!Typed.Success) {
-    R.Stats.TotalSeconds = Total.seconds();
-    return R;
-  }
-
-  Watch.reset();
-  R.Prog = regions::inferRegions(R.Ast, *R.Ctx, Typed, R.Diags);
-  R.Stats.RegionInferSeconds = Watch.seconds();
   if (!R.Prog) {
     R.Stats.TotalSeconds = Total.seconds();
     return R;
   }
   R.Stats.RegionNodes = R.Prog->numNodes();
   R.Stats.RegionVars = R.Prog->Types.numRegionVars();
+  Stopwatch Watch;
 
   Watch.reset();
   R.ConservativeC = completion::conservativeCompletion(*R.Prog);

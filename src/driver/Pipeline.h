@@ -117,6 +117,27 @@ struct PipelineResult {
   std::string formatTimings() const;
 };
 
+/// The front half of the pipeline: parse → ML type inference → T-T region
+/// inference. Produced by runFrontEnd for callers that drive the analysis
+/// stages themselves (the `aflc --serve` analysis server re-runs the front
+/// end per edit, then seeds the back end incrementally).
+struct FrontEnd {
+  std::unique_ptr<ast::ASTContext> Ctx;
+  const ast::Expr *Ast = nullptr;
+  std::unique_ptr<regions::RegionProgram> Prog;
+  double ParseSeconds = 0;
+  double TypeInferSeconds = 0;
+  double RegionInferSeconds = 0;
+
+  /// True if all three stages succeeded (diagnostics explain failures).
+  bool ok() const { return Prog != nullptr; }
+};
+
+/// Runs parse + type inference + region inference on \p Source, reporting
+/// failures to \p Diags. On failure the result's later stages are null but
+/// earlier artifacts remain inspectable.
+FrontEnd runFrontEnd(std::string_view Source, DiagnosticEngine &Diags);
+
 /// Runs the full pipeline on \p Source.
 PipelineResult runPipeline(std::string_view Source,
                            const PipelineOptions &Options = PipelineOptions());

@@ -639,3 +639,138 @@ SolveResult solver::solve(const ConstraintSystem &Sys,
   R.Seconds = Watch.seconds();
   return R;
 }
+
+SolveResult solver::solveCached(const ConstraintSystem &Sys,
+                                const SolveOptions &Options,
+                                ShardSolutionCache &Cache) {
+  if (!Options.Simplify || !Options.UseShards)
+    return solve(Sys, Options);
+
+  Stopwatch Watch;
+  SolveResult R;
+
+  // Same up-front global check as solveSharded: an empty initial domain
+  // is a conflict even for a variable in no constraint.
+  for (uint8_t D : Sys.StateDom) {
+    if (D == 0) {
+      R.Sat = false;
+      R.Seconds = Watch.seconds();
+      return R;
+    }
+  }
+
+  Stopwatch Phase;
+  const size_t NumShards = Sys.numShards();
+  ShardLocalIds Ids = buildShardLocalIds(Sys);
+  R.Simplify.ComponentSeconds = Phase.seconds();
+
+  // Unsharded variables keep their initial domains; sharded slots are
+  // overwritten from cache entries or fresh solves below.
+  R.StateDom = Sys.StateDom;
+  R.BoolDom = Sys.BoolDom;
+
+  bool Failed = false;
+  std::string Key;
+  auto Add32 = [&Key](uint32_t V) {
+    Key.push_back(static_cast<char>(V));
+    Key.push_back(static_cast<char>(V >> 8));
+    Key.push_back(static_cast<char>(V >> 16));
+    Key.push_back(static_cast<char>(V >> 24));
+  };
+
+  for (uint32_t K = 0; K != NumShards && !Failed; ++K) {
+    // The key is the shard's content in shard-local coordinates: every
+    // constraint's kind and local variable ids (in CSR order) plus the
+    // initial domains of the member variables. Identical keys mean
+    // identical subsystems up to the local->global renaming, and the
+    // solved local domains depend on nothing else.
+    Key.clear();
+    for (uint32_t CI : Sys.shardConstraints(K)) {
+      const Constraint &C = Sys.Cons[CI];
+      Key.push_back(static_cast<char>(C.K));
+      Add32(Ids.State[C.S1]);
+      Add32(Ids.State[C.S2]);
+      if (C.K != Constraint::Kind::Eq)
+        Add32(Ids.Bool[C.B]);
+    }
+    const auto States = Sys.shardStates(K);
+    for (uint32_t V : States)
+      Key.push_back(static_cast<char>(Sys.StateDom[V]));
+    const auto Bools = Sys.shardBools(K);
+    for (uint32_t V : Bools)
+      Key.push_back(static_cast<char>(Sys.BoolDom[V]));
+
+    auto Scatter = [&](const ShardSolutionCache::Entry &E) {
+      for (size_t L = 0; L != States.size(); ++L)
+        R.StateDom[States.begin()[L]] = E.StateDom[L];
+      for (size_t L = 0; L != Bools.size(); ++L)
+        R.BoolDom[Bools.begin()[L]] = E.BoolDom[L];
+    };
+
+    auto It = Cache.Entries.find(Key);
+    if (It != Cache.Entries.end()) {
+      ++Cache.Hits;
+      if (!It->second.Sat) {
+        Failed = true;
+        break;
+      }
+      Scatter(It->second);
+      continue;
+    }
+
+    ++Cache.Misses;
+    Stopwatch SW;
+    SimplifiedSystem Simp = simplifyShard(Sys, K, Ids);
+    Simp.Stats.SimplifySeconds = SW.seconds();
+    R.Simplify.accumulate(Simp.Stats);
+    R.Simplify.LargestComponent = std::max(
+        R.Simplify.LargestComponent, Simp.Residual.Cons.size());
+    ShardSolutionCache::Entry E;
+    if (Simp.Conflict) {
+      Cache.Entries.emplace(Key, std::move(E));
+      Failed = true;
+      break;
+    }
+    SolverImpl S(Simp.Residual);
+    SolveResult CR = S.run();
+    R.Propagations += CR.Propagations;
+    R.Choices += CR.Choices;
+    R.Backtracks += CR.Backtracks;
+    if (!CR.Sat) {
+      Cache.Entries.emplace(Key, std::move(E));
+      Failed = true;
+      break;
+    }
+    E.Sat = true;
+    E.StateDom.resize(States.size());
+    for (size_t L = 0; L != States.size(); ++L)
+      E.StateDom[L] = CR.StateDom[Simp.StateRep[L]];
+    E.BoolDom.resize(Bools.size());
+    for (size_t L = 0; L != Bools.size(); ++L)
+      E.BoolDom[L] = CR.BoolDom[L];
+    Scatter(E);
+    Cache.Entries.emplace(Key, std::move(E));
+  }
+
+  size_t Unsharded = Sys.numStateVars() - Ids.NumShardedStates;
+  R.Simplify.StateVarsBefore += Unsharded;
+  R.Simplify.StateVarsAfter += Unsharded;
+  R.Simplify.Components = NumShards;
+  R.Simplify.ThreadsUsed = 1;
+
+  if (Failed) {
+    R.Sat = false;
+    R.StateDom.clear();
+    R.BoolDom.clear();
+    R.Seconds = Watch.seconds();
+    return R;
+  }
+
+  // Booleans in no shard default to false, matching solveSharded.
+  for (uint8_t &B : R.BoolDom)
+    if (B == BAny)
+      B = BFalse;
+  R.Sat = true;
+  R.Seconds = Watch.seconds();
+  return R;
+}

@@ -36,6 +36,9 @@
 #include "constraints/ConstraintSystem.h"
 #include "solver/Simplify.h"
 
+#include <string>
+#include <unordered_map>
+
 namespace afl {
 namespace solver {
 
@@ -93,6 +96,42 @@ struct SolveResult {
 /// Solves \p Sys. The input system is not modified.
 SolveResult solve(const constraints::ConstraintSystem &Sys,
                   const SolveOptions &Options = SolveOptions());
+
+/// Content-keyed cache of per-shard solutions, owned by long-lived
+/// callers (one per open document in the analysis server). A shard's key
+/// is the byte string of its shard-local constraint encoding plus the
+/// initial domains of its member variables, so any shard whose emitted
+/// content is unchanged across a re-analysis — regardless of how global
+/// variable ids shifted — replays its solved domains without touching
+/// the simplifier or the solver. Entries record unsatisfiable shards
+/// too. The cache only grows; documents are the intended owner and a
+/// document's shard population is bounded by its program size.
+struct ShardSolutionCache {
+  struct Entry {
+    bool Sat = false;
+    /// Solved domains in shard-local order (the order of
+    /// ConstraintSystem::shardStates / shardBools).
+    std::vector<uint8_t> StateDom;
+    std::vector<uint8_t> BoolDom;
+  };
+  std::unordered_map<std::string, Entry> Entries;
+  /// Cumulative counters (the server reports per-request deltas).
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// Like solve() with Simplify + UseShards, but each shard is first looked
+/// up in \p Cache and only cache misses are simplified and solved (new
+/// solutions are inserted). Produces bit-identical domains to solve():
+/// shards share no variables, so per-shard resolution is the exact
+/// concatenation of the grouped path (docs/SOLVER.md). Work counters
+/// (propagations, simplify stats) cover only the shards actually solved.
+/// Falls back to plain solve() when Options disable Simplify or
+/// UseShards (the cache is keyed on shard content, which only exists on
+/// the sharded path).
+SolveResult solveCached(const constraints::ConstraintSystem &Sys,
+                        const SolveOptions &Options,
+                        ShardSolutionCache &Cache);
 
 } // namespace solver
 } // namespace afl

@@ -1,0 +1,543 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the incremental analysis server (docs/SERVER.md): protocol
+/// round-trips, malformed-request robustness, and the differential
+/// harness — random edit scripts over the corpus asserting that every
+/// incremental tier produces byte-identical completion reports and
+/// solver domains to a from-scratch analysis of the same text.
+///
+//===----------------------------------------------------------------------===//
+
+#include "closure/ClosureAnalysis.h"
+#include "completion/AflCompletion.h"
+#include "completion/Conservative.h"
+#include "completion/Report.h"
+#include "constraints/ConstraintGen.h"
+#include "driver/Pipeline.h"
+#include "driver/Server.h"
+#include "programs/Corpus.h"
+#include "solver/Solver.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include "gtest/gtest.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+using namespace afl;
+
+namespace {
+
+/// Parses a server response line; fails the test on malformed output (the
+/// server must always answer with well-formed JSON).
+json::Value call(driver::Server &S, const std::string &Request) {
+  std::string Response = S.handleLine(Request);
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parseJson(Response, V, Error))
+      << Error << " in: " << Response;
+  EXPECT_TRUE(V.isObject()) << Response;
+  EXPECT_NE(V.find("timings"), nullptr) << Response;
+  return V;
+}
+
+bool okOf(const json::Value &Resp) {
+  const json::Value *Ok = Resp.find("ok");
+  return Ok && Ok->isBool() && Ok->asBool();
+}
+
+/// result.<Path0>.<Path1>... lookup; nullptr when any hop is missing.
+const json::Value *dig(const json::Value &Resp,
+                       std::initializer_list<const char *> Path) {
+  const json::Value *V = &Resp;
+  for (const char *Key : Path) {
+    if (!V->isObject())
+      return nullptr;
+    V = V->find(Key);
+    if (!V)
+      return nullptr;
+  }
+  return V;
+}
+
+std::string jquote(const std::string &S) {
+  std::string O = "\"";
+  O += MetricsRegistry::escapeJson(S);
+  O += '"';
+  return O;
+}
+
+json::Value openDoc(driver::Server &S, const std::string &Source,
+                    int64_t *DocId) {
+  json::Value R = call(
+      S, "{\"method\":\"open\",\"params\":{\"source\":" + jquote(Source) +
+             "}}");
+  *DocId = -1;
+  if (okOf(R)) {
+    const json::Value *Doc = dig(R, {"result", "doc"});
+    EXPECT_NE(Doc, nullptr) << "open response has no doc id";
+    if (Doc)
+      *DocId = Doc->asInt(-1);
+  }
+  return R;
+}
+
+std::string domainString(const std::vector<uint8_t> &Dom) {
+  std::string O;
+  O.reserve(Dom.size());
+  for (uint8_t D : Dom)
+    O.push_back(static_cast<char>('0' + (D & 7)));
+  return O;
+}
+
+/// The from-scratch oracle: front end + closure + constraints + plain
+/// (uncached) solve + extraction, mirroring completion::aflCompletion's
+/// fallbacks exactly as the server does.
+struct Oracle {
+  bool FrontOk = false;
+  std::string Report;
+  bool Sat = false;
+  std::string States;
+  std::string Bools;
+};
+
+Oracle oracleFor(const std::string &Source) {
+  Oracle O;
+  DiagnosticEngine Diags;
+  driver::FrontEnd F = driver::runFrontEnd(Source, Diags);
+  if (!F.ok())
+    return O;
+  O.FrontOk = true;
+
+  closure::ClosureAnalysis CA(*F.Prog);
+  regions::Completion AflC;
+  solver::SolveResult Sol;
+  if (CA.run()) {
+    constraints::GenResult Gen = constraints::generateConstraints(*F.Prog, CA);
+    Sol = solver::solve(Gen.Sys);
+    AflC = Sol.Sat ? completion::extractCompletion(Gen, Sol)
+                   : completion::conservativeCompletion(*F.Prog);
+  } else {
+    AflC = completion::conservativeCompletion(*F.Prog);
+  }
+  O.Report = completion::reportCompletion(*F.Prog, AflC).str();
+  O.Sat = Sol.Sat;
+  O.States = domainString(Sol.StateDom);
+  O.Bools = domainString(Sol.BoolDom);
+  return O;
+}
+
+/// Compares the server's view of \p DocId against the oracle for \p Text.
+void expectMatchesOracle(driver::Server &S, int64_t DocId,
+                         const std::string &Text, const std::string &Where) {
+  Oracle O = oracleFor(Text);
+  ASSERT_TRUE(O.FrontOk) << Where << ": oracle front end failed";
+
+  json::Value Rep = call(S, "{\"method\":\"query\",\"params\":{\"doc\":" +
+                                std::to_string(DocId) +
+                                ",\"what\":\"report\"}}");
+  ASSERT_TRUE(okOf(Rep)) << Where;
+  const json::Value *Txt = dig(Rep, {"result", "report", "text"});
+  ASSERT_NE(Txt, nullptr) << Where;
+  EXPECT_EQ(Txt->asString(), O.Report) << Where;
+
+  json::Value Dom = call(S, "{\"method\":\"query\",\"params\":{\"doc\":" +
+                                std::to_string(DocId) +
+                                ",\"what\":\"domains\"}}");
+  ASSERT_TRUE(okOf(Dom)) << Where;
+  const json::Value *Sat = dig(Dom, {"result", "domains", "sat"});
+  const json::Value *St = dig(Dom, {"result", "domains", "states"});
+  const json::Value *Bo = dig(Dom, {"result", "domains", "bools"});
+  ASSERT_TRUE(Sat && St && Bo) << Where;
+  EXPECT_EQ(Sat->asBool(), O.Sat) << Where;
+  EXPECT_EQ(St->asString(), O.States) << Where;
+  EXPECT_EQ(Bo->asString(), O.Bools) << Where;
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(ServerProtocol, OpenQueryCloseShutdown) {
+  driver::Server S;
+  int64_t Doc = -1;
+  json::Value R = openDoc(S, "let x = 1 in x + 2 end", &Doc);
+  ASSERT_TRUE(okOf(R));
+  ASSERT_GE(Doc, 1);
+  EXPECT_EQ(dig(R, {"result", "tier"})->asString(), "full");
+  EXPECT_TRUE(dig(R, {"result", "analysis", "converged"})->asBool());
+  EXPECT_TRUE(dig(R, {"result", "analysis", "sat"})->asBool());
+  EXPECT_NE(dig(R, {"result", "report", "text"}), nullptr);
+
+  json::Value Q = call(S, "{\"id\":7,\"method\":\"query\",\"params\":{\"doc\":" +
+                              std::to_string(Doc) +
+                              ",\"what\":\"report\"}}");
+  EXPECT_TRUE(okOf(Q));
+  EXPECT_EQ(Q.find("id")->asInt(), 7);
+
+  json::Value M =
+      call(S, "{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}");
+  ASSERT_TRUE(okOf(M));
+  EXPECT_EQ(dig(M, {"result", "metrics", "opens"})->asInt(), 1);
+  EXPECT_EQ(dig(M, {"result", "metrics", "open_docs"})->asInt(), 1);
+
+  json::Value C = call(S, "{\"method\":\"close\",\"params\":{\"doc\":" +
+                              std::to_string(Doc) + "}}");
+  EXPECT_TRUE(okOf(C));
+  EXPECT_FALSE(S.shutdownRequested());
+  json::Value Down = call(S, "{\"method\":\"shutdown\"}");
+  EXPECT_TRUE(okOf(Down));
+  EXPECT_TRUE(S.shutdownRequested());
+}
+
+TEST(ServerProtocol, TimingsPresentOnEveryResponse) {
+  driver::Server S;
+  for (const char *Req :
+       {"{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}",
+        "garbage", "{\"method\":\"nope\"}"}) {
+    json::Value R = call(S, Req);
+    const json::Value *Total = dig(R, {"timings", "total_us"});
+    ASSERT_NE(Total, nullptr) << Req;
+    EXPECT_TRUE(Total->isInt()) << Req;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Robustness: malformed requests must produce errors, never crashes.
+//===----------------------------------------------------------------------===//
+
+TEST(ServerRobustness, MalformedRequests) {
+  driver::Server S;
+  const char *Bad[] = {
+      "",                                       // empty (not even JSON)
+      "{",                                      // truncated object
+      "{\"method\":\"open\"",                   // truncated mid-object
+      "[1,2,3]",                                // not an object
+      "42",                                     // not an object
+      "{\"params\":{}}",                        // missing method
+      "{\"method\":42}",                        // non-string method
+      "{\"method\":\"frobnicate\"}",            // unknown method
+      "{\"method\":\"open\"}",                  // open without params
+      "{\"method\":\"open\",\"params\":{}}",    // open without source
+      "{\"method\":\"open\",\"params\":{\"source\":7}}", // non-string source
+      "{\"method\":\"open\",\"params\":\"x\"}", // params not an object
+      "{\"method\":\"edit\",\"params\":{\"doc\":99}}",   // unknown doc
+      "{\"method\":\"query\",\"params\":{\"doc\":1,\"what\":\"report\"}}",
+      "{\"method\":\"close\",\"params\":{\"doc\":1}}",
+      "{\"method\":\"query\",\"params\":{\"doc\":true,\"what\":\"report\"}}",
+  };
+  for (const char *Req : Bad) {
+    json::Value R = call(S, Req);
+    EXPECT_FALSE(okOf(R)) << Req;
+    const json::Value *E = R.find("error");
+    ASSERT_NE(E, nullptr) << Req;
+    EXPECT_TRUE(E->isString()) << Req;
+    EXPECT_FALSE(E->asString().empty()) << Req;
+  }
+  EXPECT_FALSE(S.shutdownRequested());
+}
+
+TEST(ServerRobustness, OpenRejectsBrokenSource) {
+  driver::Server S;
+  int64_t Doc = -1;
+  // Parse error, then a type error: both fail without opening a document.
+  json::Value R1 = openDoc(S, "let x = in", &Doc);
+  EXPECT_FALSE(okOf(R1));
+  json::Value R2 = openDoc(S, "1 + true", &Doc);
+  EXPECT_FALSE(okOf(R2));
+  json::Value M =
+      call(S, "{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}");
+  EXPECT_EQ(dig(M, {"result", "metrics", "open_docs"})->asInt(), 0);
+}
+
+TEST(ServerRobustness, EditValidationAndRevert) {
+  driver::Server S;
+  const std::string Text = "let x = 1 in x + 2 end";
+  int64_t Doc = -1;
+  ASSERT_TRUE(okOf(openDoc(S, Text, &Doc)));
+  const std::string DocStr = std::to_string(Doc);
+
+  // Span outside the document.
+  json::Value R1 =
+      call(S, "{\"method\":\"edit\",\"params\":{\"doc\":" + DocStr +
+                  ",\"start\":9999,\"length\":1,\"text\":\"2\"}}");
+  EXPECT_FALSE(okOf(R1));
+  // Negative length.
+  json::Value R2 =
+      call(S, "{\"method\":\"edit\",\"params\":{\"doc\":" + DocStr +
+                  ",\"start\":0,\"length\":-4,\"text\":\"2\"}}");
+  EXPECT_FALSE(okOf(R2));
+  // Missing text.
+  json::Value R3 =
+      call(S, "{\"method\":\"edit\",\"params\":{\"doc\":" + DocStr +
+                  ",\"start\":0,\"length\":0}}");
+  EXPECT_FALSE(okOf(R3));
+  // An edit that breaks the program: rejected, document unchanged.
+  json::Value R4 =
+      call(S, "{\"method\":\"edit\",\"params\":{\"doc\":" + DocStr +
+                  ",\"start\":8,\"length\":1,\"text\":\"(((\"}}");
+  EXPECT_FALSE(okOf(R4));
+  expectMatchesOracle(S, Doc, Text, "after rejected edits");
+
+  // Edits to a closed document fail.
+  call(S, "{\"method\":\"close\",\"params\":{\"doc\":" + DocStr + "}}");
+  json::Value R5 =
+      call(S, "{\"method\":\"edit\",\"params\":{\"doc\":" + DocStr +
+                  ",\"start\":0,\"length\":0,\"text\":\"\"}}");
+  EXPECT_FALSE(okOf(R5));
+}
+
+//===----------------------------------------------------------------------===//
+// Differential harness: random edit scripts vs. the from-scratch oracle.
+//===----------------------------------------------------------------------===//
+
+/// Maximal digit runs that form standalone integer literals (not adjacent
+/// to identifier characters), the edit targets of the random scripts.
+std::vector<std::pair<size_t, size_t>> literalTokens(const std::string &S) {
+  std::vector<std::pair<size_t, size_t>> Out;
+  auto IsWord = [](char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+  };
+  size_t I = 0;
+  while (I < S.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(S[I]))) {
+      ++I;
+      continue;
+    }
+    size_t Begin = I;
+    while (I < S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+      ++I;
+    bool LeftOk = Begin == 0 || !IsWord(S[Begin - 1]);
+    bool RightOk = I == S.size() || !IsWord(S[I]);
+    if (LeftOk && RightOk)
+      Out.push_back({Begin, I - Begin});
+  }
+  return Out;
+}
+
+/// Deterministic 64-bit LCG (results must not depend on libc rand).
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 33;
+  }
+};
+
+struct TierCounts {
+  int Reuse = 0;
+  int Incremental = 0;
+  int Full = 0;
+};
+
+/// Opens \p Source and applies \p NumEdits random literal edits, checking
+/// the server against the oracle after each one. Accumulates the tiers
+/// taken into \p Tiers.
+void runEditScript(const std::string &Name, const std::string &Source,
+                   int NumEdits, uint64_t Seed, TierCounts &Tiers) {
+  driver::Server S;
+  int64_t Doc = -1;
+  json::Value R = openDoc(S, Source, &Doc);
+  ASSERT_TRUE(okOf(R)) << Name;
+  std::string Text = Source;
+  expectMatchesOracle(S, Doc, Text, Name + " after open");
+
+  Lcg Rng(Seed);
+  for (int E = 0; E != NumEdits; ++E) {
+    std::vector<std::pair<size_t, size_t>> Tokens = literalTokens(Text);
+    ASSERT_FALSE(Tokens.empty()) << Name << ": no literals left to edit";
+    auto [Pos, Len] = Tokens[Rng.next() % Tokens.size()];
+    std::string Old = Text.substr(Pos, Len);
+    std::string Replacement;
+    switch (Rng.next() % 5) {
+    case 0: // literal-only: another number
+      Replacement = std::to_string(Rng.next() % 95 + 1);
+      break;
+    case 1: // arrow-free subtree growth around the literal
+      Replacement = "(" + Old + " + " + std::to_string(Rng.next() % 9 + 1) +
+                    ")";
+      break;
+    case 2: // arrow-free subtree with a conditional
+      Replacement = "(if true then " + Old + " else " +
+                    std::to_string(Rng.next() % 9 + 1) + ")";
+      break;
+    case 3: // lambda in the replaced subtree: forces the full tier
+      Replacement = "((fn q => q + " + std::to_string(Rng.next() % 9 + 1) +
+                    ") " + Old + ")";
+      break;
+    default: // shrink back to a bare literal (often a multi-node break)
+      Replacement = std::to_string(Rng.next() % 9 + 1);
+      break;
+    }
+    std::string Where = Name + " edit " + std::to_string(E) + " @" +
+                        std::to_string(Pos) + " '" + Old + "' -> '" +
+                        Replacement + "'";
+    json::Value ER =
+        call(S, "{\"method\":\"edit\",\"params\":{\"doc\":" +
+                    std::to_string(Doc) + ",\"start\":" + std::to_string(Pos) +
+                    ",\"length\":" + std::to_string(Len) +
+                    ",\"text\":" + jquote(Replacement) + "}}");
+    ASSERT_TRUE(okOf(ER)) << Where;
+    Text.replace(Pos, Len, Replacement);
+
+    const json::Value *Tier = dig(ER, {"result", "tier"});
+    ASSERT_NE(Tier, nullptr) << Where;
+    if (Tier->asString() == "reuse")
+      ++Tiers.Reuse;
+    else if (Tier->asString() == "incremental")
+      ++Tiers.Incremental;
+    else
+      ++Tiers.Full;
+    // A reuse-tier edit must dirty nothing.
+    if (Tier->asString() == "reuse") {
+      EXPECT_EQ(dig(ER, {"result", "analysis", "dirtied_contexts"})->asInt(),
+                0)
+          << Where;
+    }
+
+    expectMatchesOracle(S, Doc, Text, Where);
+  }
+}
+
+TEST(ServerDifferential, CorpusEditScripts) {
+  struct Program {
+    const char *Name;
+    std::string Source;
+    int Edits;
+  };
+  const Program Corpus[] = {
+      {"appel", programs::appelSource(6), 40},
+      {"quicksort", programs::quicksortSource(8), 40},
+      {"fib", programs::fibSource(7), 30},
+      {"randlist", programs::randlistSource(6), 30},
+      {"fac", programs::facSource(5), 30},
+      {"example21", programs::example21Source(), 20},
+      {"escape",
+       "let mk = fn a => fn x => x + a in let f = (mk 3, mk 4) in "
+       "(fst f) 10 + (snd f) 20 end end",
+       20},
+  };
+  TierCounts Total;
+  uint64_t Seed = 0x5eed;
+  int TotalEdits = 0;
+  for (const Program &P : Corpus) {
+    runEditScript(P.Name, P.Source, P.Edits, Seed++, Total);
+    TotalEdits += P.Edits;
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  // The scripts must actually exercise every tier, and meet the
+  // acceptance floor of 200+ verified random edits.
+  EXPECT_GE(TotalEdits, 200);
+  EXPECT_GT(Total.Reuse, 0);
+  EXPECT_GT(Total.Incremental, 0);
+  EXPECT_GT(Total.Full, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Incrementality: a small edit on a warm document re-processes fewer
+// contexts than the full analysis did.
+//===----------------------------------------------------------------------===//
+
+TEST(ServerIncrementality, WarmEditDirtiesFewerContexts) {
+  driver::Server S;
+  std::string Text = programs::appelSource(16);
+  int64_t Doc = -1;
+  json::Value R = openDoc(S, Text, &Doc);
+  ASSERT_TRUE(okOf(R));
+  int64_t FullProcessed =
+      dig(R, {"result", "analysis", "processed_contexts"})->asInt();
+  ASSERT_GT(FullProcessed, 0);
+
+  // A literal-only edit reuses the whole analysis: zero contexts dirtied.
+  std::vector<std::pair<size_t, size_t>> Tokens = literalTokens(Text);
+  ASSERT_FALSE(Tokens.empty());
+  auto [Pos, Len] = Tokens.back();
+  json::Value E1 =
+      call(S, "{\"method\":\"edit\",\"params\":{\"doc\":" +
+                  std::to_string(Doc) + ",\"start\":" + std::to_string(Pos) +
+                  ",\"length\":" + std::to_string(Len) +
+                  ",\"text\":\"77\"}}");
+  ASSERT_TRUE(okOf(E1));
+  EXPECT_EQ(dig(E1, {"result", "tier"})->asString(), "reuse");
+  EXPECT_EQ(dig(E1, {"result", "analysis", "dirtied_contexts"})->asInt(), 0);
+  Text.replace(Pos, Len, "77");
+
+  // A structural (arrow-free subtree) edit restarts the worklist from the
+  // edit's frontier only.
+  Tokens = literalTokens(Text);
+  ASSERT_FALSE(Tokens.empty());
+  auto [Pos2, Len2] = Tokens.back();
+  std::string Sub = "(" + Text.substr(Pos2, Len2) + " + 1)";
+  json::Value E2 =
+      call(S, "{\"method\":\"edit\",\"params\":{\"doc\":" +
+                  std::to_string(Doc) + ",\"start\":" + std::to_string(Pos2) +
+                  ",\"length\":" + std::to_string(Len2) +
+                  ",\"text\":" + jquote(Sub) + "}}");
+  ASSERT_TRUE(okOf(E2));
+  EXPECT_EQ(dig(E2, {"result", "tier"})->asString(), "incremental");
+  int64_t Dirtied =
+      dig(E2, {"result", "analysis", "dirtied_contexts"})->asInt();
+  EXPECT_GT(Dirtied, 0);
+  EXPECT_LT(Dirtied, FullProcessed);
+  Text.replace(Pos2, Len2, Sub);
+  expectMatchesOracle(S, Doc, Text, "warm structural edit");
+
+  // The structural edit re-solved only the shards its constraints
+  // changed; the rest replayed from the per-document cache.
+  int64_t Reused =
+      dig(E2, {"result", "analysis", "shards_reused"})->asInt();
+  EXPECT_GT(Reused, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// The JSON reader itself.
+//===----------------------------------------------------------------------===//
+
+TEST(JsonReader, ParsesScalarsAndNesting) {
+  json::Value V;
+  std::string E;
+  ASSERT_TRUE(json::parseJson(
+      " {\"a\": [1, -2.5, true, null, \"x\\n\\u0041\"], \"b\": {}} ", V, E))
+      << E;
+  ASSERT_TRUE(V.isObject());
+  const json::Value *A = V.find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_TRUE(A->isArray());
+  ASSERT_EQ(A->items().size(), 5u);
+  EXPECT_EQ(A->items()[0].asInt(), 1);
+  EXPECT_FALSE(A->items()[1].isInt());
+  EXPECT_DOUBLE_EQ(A->items()[1].asDouble(), -2.5);
+  EXPECT_TRUE(A->items()[2].asBool());
+  EXPECT_TRUE(A->items()[3].isNull());
+  EXPECT_EQ(A->items()[4].asString(), "x\nA");
+  EXPECT_NE(V.find("b"), nullptr);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  const char *Bad[] = {
+      "",       "{",        "}",           "[1,]",        "{\"a\":}",
+      "01",     "1.",       "+1",          "tru",         "\"unterminated",
+      "[1] []", "nullx",    "{\"a\" 1}",   "{1: 2}",      "\"\\q\"",
+      "--1",    "[1,2,,3]", "{\"a\":1,}",  "\x01",        "[\"\\u12\"]",
+  };
+  for (const char *Text : Bad) {
+    json::Value V;
+    std::string E;
+    EXPECT_FALSE(json::parseJson(Text, V, E)) << Text;
+    EXPECT_FALSE(E.empty()) << Text;
+  }
+}
+
+TEST(JsonReader, DepthCapStopsAdversarialNesting) {
+  std::string Deep(100000, '[');
+  json::Value V;
+  std::string E;
+  EXPECT_FALSE(json::parseJson(Deep, V, E));
+}
+
+} // namespace

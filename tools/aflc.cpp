@@ -31,6 +31,9 @@
 ///   --metrics[=FILE]     emit per-stage metrics as JSON (stdout or FILE)
 ///   --batch DIR          run every .afl file under DIR (thread-pooled)
 ///   -j N                 worker threads for --batch (default: all cores)
+///   --serve              incremental analysis server: newline-delimited
+///                        JSON requests on stdin, responses on stdout
+///                        (protocol in docs/SERVER.md)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +42,7 @@
 #include "constraints/ConstraintPrinter.h"
 #include "driver/BatchRunner.h"
 #include "driver/Pipeline.h"
+#include "driver/Server.h"
 #include "programs/Corpus.h"
 #include "regions/RegionPrinter.h"
 #include "regions/Validator.h"
@@ -46,6 +50,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -75,7 +80,8 @@ void usage() {
       "  --no-run            skip instrumented runs\n"
       "  --timings           per-stage wall-time table\n"
       "  --metrics[=FILE]    per-stage metrics as JSON\n"
-      "  --batch DIR [-j N]  run every .afl file under DIR concurrently\n");
+      "  --batch DIR [-j N]  run every .afl file under DIR concurrently\n"
+      "  --serve             incremental analysis server on stdin/stdout\n");
 }
 
 /// Strictly parses the numeric argument \p Text of \p Flag. Anything
@@ -211,6 +217,7 @@ int main(int Argc, char **Argv) {
   std::string Emit = "afl";
   bool Report = false, Stats = false, Validate = false, NoRun = false;
   bool DumpConstraints = false, Timings = false, Metrics = false;
+  bool Serve = false;
   std::string TraceFile, MetricsFile, BatchDir;
   unsigned Threads = 0;
   std::string Source;
@@ -234,6 +241,8 @@ int main(int Argc, char **Argv) {
       Validate = true;
     } else if (Arg == "--no-run") {
       NoRun = true;
+    } else if (Arg == "--serve") {
+      Serve = true;
     } else if (Arg == "--dump-constraints") {
       DumpConstraints = true;
     } else if (Arg.rfind("--trace=", 0) == 0) {
@@ -318,6 +327,11 @@ int main(int Argc, char **Argv) {
   Options.GenOptions = Gen;
   Options.SolveOptions = Solve;
   Options.ClosureOptions = Closure;
+
+  if (Serve) {
+    driver::Server S;
+    return S.run(std::cin, std::cout);
+  }
 
   if (!BatchDir.empty())
     return runBatchMode(BatchDir, Options, Threads, Timings, Metrics,

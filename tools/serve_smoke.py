@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""CI smoke test for `aflc --serve` (docs/SERVER.md).
+
+Plays the checked-in request transcript `serve_session.txt` against a
+freshly spawned server and compares each response line to
+`serve_session.golden`. Responses are canonicalized before comparison:
+parsed as JSON, the per-request "timings" object dropped (wall-clock is
+not reproducible), and re-serialized with sorted keys. Everything else —
+tiers taken, context/shard counters, reports, solver domains, error
+messages — must match byte-for-byte.
+
+Usage:
+    tools/serve_smoke.py path/to/aflc            # verify against golden
+    tools/serve_smoke.py path/to/aflc --update   # regenerate the golden
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+TRANSCRIPT = HERE / "serve_session.txt"
+GOLDEN = HERE / "serve_session.golden"
+
+
+def requests():
+    """Request lines from the transcript; '#' comments and blanks skipped."""
+    lines = []
+    for raw in TRANSCRIPT.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        lines.append(line)
+    return lines
+
+
+def canonicalize(line):
+    """Sorted-keys JSON with the non-reproducible timings object removed."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"serve_smoke: server emitted non-JSON line: {line!r} ({e})")
+    if isinstance(obj, dict):
+        obj.pop("timings", None)
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def main():
+    args = sys.argv[1:]
+    update = "--update" in args
+    args = [a for a in args if a != "--update"]
+    if len(args) != 1:
+        sys.exit(f"usage: {sys.argv[0]} path/to/aflc [--update]")
+    aflc = args[0]
+
+    reqs = requests()
+    proc = subprocess.run(
+        [aflc, "--serve"],
+        input="\n".join(reqs) + "\n",
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if proc.returncode != 0:
+        sys.exit(
+            f"serve_smoke: server exited with {proc.returncode}\n{proc.stderr}"
+        )
+    responses = [l for l in proc.stdout.splitlines() if l.strip()]
+    if len(responses) != len(reqs):
+        sys.exit(
+            f"serve_smoke: sent {len(reqs)} requests, "
+            f"got {len(responses)} responses"
+        )
+    got = [canonicalize(r) for r in responses]
+
+    if update:
+        GOLDEN.write_text("\n".join(got) + "\n")
+        print(f"serve_smoke: wrote {len(got)} responses to {GOLDEN}")
+        return
+
+    want = [l for l in GOLDEN.read_text().splitlines() if l.strip()]
+    if len(want) != len(got):
+        sys.exit(
+            f"serve_smoke: golden has {len(want)} responses, "
+            f"server produced {len(got)}"
+        )
+    failures = 0
+    for i, (w, g) in enumerate(zip(want, got)):
+        if w != g:
+            failures += 1
+            print(f"serve_smoke: response {i} differs", file=sys.stderr)
+            print(f"  request: {reqs[i]}", file=sys.stderr)
+            print(f"  want:    {w}", file=sys.stderr)
+            print(f"  got:     {g}", file=sys.stderr)
+    if failures:
+        sys.exit(f"serve_smoke: {failures} response(s) differ from golden")
+    print(f"serve_smoke: {len(got)} responses match golden")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@
 #include "constraints/ConstraintGen.h"
 #include "driver/BatchRunner.h"
 #include "driver/Pipeline.h"
+#include "interp/Interp.h"
 #include "parser/Parser.h"
 #include "programs/Corpus.h"
 #include "regions/RegionInference.h"
@@ -344,6 +345,54 @@ BENCHMARK(BM_SolveSimplifiedParallel)
     ->Arg(32)
     ->Arg(48)
     ->UseRealTime();
+
+/// Instrumented-run stage under one backend: a scaled builtin program is
+/// analyzed once (A-F-L completion), then executed repeatedly. Family 0
+/// is @fib (call/step heavy), family 1 is @appel (allocation heavy — the
+/// paper's Fig. 1 example, stressing the region allocator). The
+/// BM_RunTree / BM_RunVm pair is the before/after of BENCH_interp.json.
+void runSeries(benchmark::State &State, interp::BackendKind Backend) {
+  int Family = static_cast<int>(State.range(0));
+  int N = static_cast<int>(State.range(1));
+  std::string Src =
+      Family == 0 ? programs::fibSource(N) : programs::appelSource(N);
+  State.SetLabel((Family == 0 ? "fib " : "appel ") + std::to_string(N));
+  auto F = frontend(Src);
+  auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+  completion::AflStats Stats;
+  regions::Completion C = completion::aflCompletion(*Prog, &Stats);
+  interp::RunOptions Options;
+  Options.Backend = Backend;
+  uint64_t Steps = 0, MemOps = 0;
+  for (auto _ : State) {
+    interp::RunResult R = interp::run(*Prog, C, Options);
+    benchmark::DoNotOptimize(R.Ok);
+    Steps = R.S.Steps;
+    MemOps = R.S.Time;
+  }
+  State.counters["steps"] = static_cast<double>(Steps);
+  State.counters["mem_ops"] = static_cast<double>(MemOps);
+}
+
+void BM_RunTree(benchmark::State &State) {
+  runSeries(State, interp::BackendKind::Tree);
+}
+BENCHMARK(BM_RunTree)
+    ->Args({0, 18})
+    ->Args({0, 22})
+    ->Args({0, 25})
+    ->Args({1, 200})
+    ->Args({1, 800});
+
+void BM_RunVm(benchmark::State &State) {
+  runSeries(State, interp::BackendKind::Vm);
+}
+BENCHMARK(BM_RunVm)
+    ->Args({0, 18})
+    ->Args({0, 22})
+    ->Args({0, 25})
+    ->Args({1, 200})
+    ->Args({1, 800});
 
 void BM_FullAnalysis_Corpus(benchmark::State &State) {
   auto Corpus = programs::table2Corpus();

@@ -174,6 +174,13 @@ void BatchResult::recordMetrics(MetricsRegistry &Reg) const {
     // names would be wrong for them.
     recordPipelineMetrics(Reg, AggregateStats, AggregateAnalysis, nullptr,
                           nullptr, allOk());
+    {
+      // Peak RSS is process-wide (the whole batch shares one address
+      // space), so it only makes sense here in the aggregate — emitted
+      // even for a --no-run batch, where analysis dominates memory.
+      MetricScope Runs(Reg, "runs");
+      Reg.set("peak_rss_kb", readPeakRssKb());
+    }
     if (HasRuns) {
       MetricScope Runs(Reg, "runs");
       auto Run = [&Reg](const char *Name, const interp::Stats &Sum,

@@ -34,6 +34,8 @@ void PipelineStats::accumulate(const PipelineStats &Other) {
   RunConservativeSeconds += Other.RunConservativeSeconds;
   RunAflSeconds += Other.RunAflSeconds;
   RunReferenceSeconds += Other.RunReferenceSeconds;
+  VmCompileSeconds += Other.VmCompileSeconds;
+  VmExecuteSeconds += Other.VmExecuteSeconds;
   TotalSeconds += Other.TotalSeconds;
   AstNodes += Other.AstNodes;
   RegionNodes += Other.RegionNodes;
@@ -128,6 +130,14 @@ void driver::recordPipelineMetrics(MetricsRegistry &Reg,
     Stage("run_conservative", Stats.RunConservativeSeconds);
     Stage("run_afl", Stats.RunAflSeconds);
     Stage("run_reference", Stats.RunReferenceSeconds);
+    {
+      // VM-backend split of the completed runs (zero under the tree
+      // walker); a sub-split of run_conservative + run_afl above.
+      MetricScope S(Reg, "runs");
+      MetricScope Vm(Reg, "vm");
+      Reg.addTime("compile_seconds", Stats.VmCompileSeconds);
+      Reg.addTime("execute_seconds", Stats.VmExecuteSeconds);
+    }
   }
   if (ConsRun || AflRun) {
     MetricScope Runs(Reg, "runs");
@@ -179,6 +189,13 @@ std::string driver::formatTimings(const PipelineStats &Stats,
   Row("run (A-F-L)", Stats.RunAflSeconds);
   Row("run (reference)", Stats.RunReferenceSeconds);
   Row("total", Stats.TotalSeconds);
+  if (Stats.VmCompileSeconds + Stats.VmExecuteSeconds > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "vm: compile %.3f ms, execute %.3f ms "
+                  "(split of the two completed runs)\n",
+                  Stats.VmCompileSeconds * 1e3, Stats.VmExecuteSeconds * 1e3);
+    Out += Buf;
+  }
   std::snprintf(Buf, sizeof(Buf),
                 "solver: %llu propagations, %llu choices, %llu backtracks\n",
                 (unsigned long long)Analysis.SolverPropagations,
@@ -287,9 +304,12 @@ PipelineResult driver::runPipeline(std::string_view Source,
     interp::RunOptions RO;
     RO.RecordTrace = Options.RecordTrace;
     RO.MaxSteps = Options.MaxSteps;
+    RO.Backend = Options.Backend;
     Watch.reset();
     R.Conservative = interp::run(*R.Prog, R.ConservativeC, RO);
     R.Stats.RunConservativeSeconds = Watch.seconds();
+    R.Stats.VmCompileSeconds += R.Conservative.VmCompileSeconds;
+    R.Stats.VmExecuteSeconds += R.Conservative.VmExecuteSeconds;
     if (!R.Conservative.Ok) {
       R.Diags.error(SourceLoc(),
                     "conservative run failed: " + R.Conservative.Error);
@@ -299,6 +319,8 @@ PipelineResult driver::runPipeline(std::string_view Source,
     Watch.reset();
     R.Afl = interp::run(*R.Prog, R.AflC, RO);
     R.Stats.RunAflSeconds = Watch.seconds();
+    R.Stats.VmCompileSeconds += R.Afl.VmCompileSeconds;
+    R.Stats.VmExecuteSeconds += R.Afl.VmExecuteSeconds;
     if (!R.Afl.Ok) {
       R.Diags.error(SourceLoc(), "A-F-L run failed: " + R.Afl.Error);
       R.Stats.TotalSeconds = Total.seconds();

@@ -43,6 +43,9 @@ struct PipelineOptions {
   solver::SolveOptions SolveOptions;
   /// Closure-analysis fixpoint mode and caps (`aflc --closure-restart`).
   closure::ClosureOptions ClosureOptions;
+  /// Evaluator for the instrumented runs (`aflc --interp=vm|tree`,
+  /// $AFL_INTERP). Both backends are semantics-exact; see docs/VM.md.
+  interp::BackendKind Backend = interp::defaultBackend();
 };
 
 /// Per-stage observability for one pipeline run: wall-clock time of every
@@ -63,6 +66,12 @@ struct PipelineStats {
   double RunConservativeSeconds = 0;
   double RunAflSeconds = 0;
   double RunReferenceSeconds = 0;
+  /// VM-backend split of the two completed runs: bytecode compilation vs
+  /// execution wall time, summed over both runs. These are sub-splits of
+  /// RunConservativeSeconds + RunAflSeconds (excluded from stageSum);
+  /// both stay zero under the tree walker.
+  double VmCompileSeconds = 0;
+  double VmExecuteSeconds = 0;
   /// Whole-pipeline wall time (≥ the sum of the stage times).
   double TotalSeconds = 0;
 

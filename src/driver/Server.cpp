@@ -3,6 +3,7 @@
 #include "completion/AflCompletion.h"
 #include "completion/Conservative.h"
 #include "driver/Incremental.h"
+#include "interp/Interp.h"
 #include "support/Metrics.h"
 
 #include <cmath>
@@ -319,7 +320,37 @@ std::string Server::handleQuery(const json::Value &Params,
     O += "}}";
     return O;
   }
-  Error = "unknown query \"" + W + "\" (expected report, metrics or domains)";
+  if (W == "run") {
+    // Instrumented execution of the document under its current A-F-L
+    // completion. Served runs use the process-default backend — the
+    // bytecode VM unless $AFL_INTERP=tree (docs/VM.md).
+    Stopwatch Watch;
+    interp::RunResult R = interp::run(*Doc->Prog, Doc->AflC);
+    double TotalSeconds = Watch.seconds();
+    bool Vm = interp::defaultBackend() == interp::BackendKind::Vm;
+    std::string O = "{\"run\":{";
+    O += "\"ok\":" + std::string(R.Ok ? "true" : "false");
+    if (R.Ok)
+      O += ",\"result\":" + jsonString(R.ResultText);
+    else
+      O += ",\"error\":" + jsonString(R.Error);
+    O += ",\"backend\":" + jsonString(Vm ? "vm" : "tree");
+    O += ",\"stats\":{";
+    O += "\"max_regions\":" + std::to_string(R.S.MaxRegions);
+    O += ",\"region_allocs\":" + std::to_string(R.S.TotalRegionAllocs);
+    O += ",\"value_allocs\":" + std::to_string(R.S.TotalValueAllocs);
+    O += ",\"max_values\":" + std::to_string(R.S.MaxValues);
+    O += ",\"final_values\":" + std::to_string(R.S.FinalValues);
+    O += ",\"memory_ops\":" + std::to_string(R.S.Time);
+    O += "},\"micros\":{";
+    O += "\"compile_us\":" + std::to_string(micros(R.VmCompileSeconds));
+    O += ",\"execute_us\":" + std::to_string(micros(R.VmExecuteSeconds));
+    O += ",\"total_us\":" + std::to_string(micros(TotalSeconds));
+    O += "}}}";
+    return O;
+  }
+  Error =
+      "unknown query \"" + W + "\" (expected report, metrics, domains or run)";
   return "";
 }
 

@@ -1,10 +1,15 @@
 #include "interp/Interp.h"
 
 #include "support/Arena.h"
+#include "vm/Compiler.h"
+#include "vm/VM.h"
 
 #include <cassert>
+#include <chrono>
+#include <cstdlib>
 #include <optional>
 #include <pthread.h>
+#include <string_view>
 
 using namespace afl;
 using namespace afl::interp;
@@ -638,8 +643,47 @@ void *runTrampoline(void *Arg) {
 
 } // namespace
 
+bool interp::parseBackendName(std::string_view Text, BackendKind &Out) {
+  if (Text == "vm") {
+    Out = BackendKind::Vm;
+    return true;
+  }
+  if (Text == "tree") {
+    Out = BackendKind::Tree;
+    return true;
+  }
+  return false;
+}
+
+BackendKind interp::defaultBackend() {
+  static const BackendKind Cached = [] {
+    BackendKind B = BackendKind::Vm;
+    // Unset, empty, or unrecognized: the library stays lenient (aflc
+    // validates the variable strictly and exits with usage instead).
+    if (const char *Env = std::getenv("AFL_INTERP"))
+      (void)parseBackendName(Env, B);
+    return B;
+  }();
+  return Cached;
+}
+
 RunResult interp::run(const RegionProgram &Prog, const Completion &C,
                       const RunOptions &Options) {
+  if (Options.Backend == BackendKind::Vm) {
+    // The VM holds explicit frames, so no big-stack thread is needed:
+    // MaxDepth bounds VM frame vectors, not C++ recursion. Bytecode
+    // compilation recurses over the IR, which the parser already bounds.
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point T0 = Clock::now();
+    vm::VmProgram P = vm::compile(Prog, C, Options.Modes);
+    Clock::time_point T1 = Clock::now();
+    RunResult Out = vm::execute(P, Options);
+    Clock::time_point T2 = Clock::now();
+    Out.VmCompileSeconds = std::chrono::duration<double>(T1 - T0).count();
+    Out.VmExecuteSeconds = std::chrono::duration<double>(T2 - T1).count();
+    return Out;
+  }
+
   Machine M(Prog, C, Options);
   RunTask Task;
   Task.M = &M;

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace afl {
@@ -77,11 +78,34 @@ struct RegionLifetime {
   uint64_t ValuesAtFree = 0;
 };
 
+/// Which evaluator executes the program. Both are semantics-exact (the
+/// VM is proven bit-identical to the tree walker by
+/// tests/VmDifferentialTest.cpp); the VM is the default, the tree walker
+/// remains the differential oracle.
+enum class BackendKind : uint8_t {
+  /// Bytecode VM with bump-pointer region arenas (src/vm/, docs/VM.md).
+  Vm,
+  /// The Fig. 2 tree walker in this module.
+  Tree,
+};
+
+/// The process-default backend: $AFL_INTERP ("vm" or "tree") when set and
+/// valid, else the VM. Like the closure/solver jobs env knobs, the
+/// library reads the variable leniently (unrecognized values fall back to
+/// the default); `aflc` validates it strictly at startup.
+BackendKind defaultBackend();
+
+/// Strictly parses a backend name, CliParse.h-style: exactly "vm" or
+/// "tree"; anything else returns false and leaves \p Out untouched.
+/// Shared by `aflc --interp=...` and its $AFL_INTERP validation.
+bool parseBackendName(std::string_view Text, BackendKind &Out);
+
 struct RunOptions {
   /// Evaluation step limit (guards runaway programs in property tests).
   uint64_t MaxSteps = 200'000'000;
-  /// Recursion depth limit (guards the host stack; each level costs a
-  /// few hundred bytes of C++ stack).
+  /// Recursion depth limit. The tree walker recurses on the host stack
+  /// (each level costs a few hundred bytes of C++ stack); the VM holds
+  /// explicit frames, so this bounds VM frame count instead.
   uint32_t MaxDepth = 15'000;
   /// Record the full memory-over-time trace (Figures 5-8).
   bool RecordTrace = false;
@@ -90,6 +114,8 @@ struct RunOptions {
   /// Optional storage modes: writes listed atbot reset their region
   /// first (destroying its current contents). Not owned; may be null.
   const completion::StorageModes *Modes = nullptr;
+  /// Evaluator selection (`aflc --interp=vm|tree`, $AFL_INTERP).
+  BackendKind Backend = defaultBackend();
 };
 
 struct RunResult {
@@ -102,6 +128,11 @@ struct RunResult {
   /// Indexed by runtime region id (creation order); only filled when
   /// RunOptions::RecordLifetimes is set.
   std::vector<RegionLifetime> Lifetimes;
+  /// VM backend only: wall-clock split between bytecode compilation and
+  /// execution (both zero under the tree walker). Surfaced through
+  /// PipelineStats as the `vm:` timings row / `stages/runs/vm` metrics.
+  double VmCompileSeconds = 0;
+  double VmExecuteSeconds = 0;
 };
 
 /// Evaluates \p Prog under completion \p C.

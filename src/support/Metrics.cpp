@@ -2,8 +2,29 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
 using namespace afl;
+
+uint64_t afl::readPeakRssKb() {
+  // VmHWM ("high water mark") is the peak resident set of the process;
+  // procfs reports it in kB. Missing file or line → 0.
+  std::FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  uint64_t Kb = 0;
+  char Line[256];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, "VmHWM:", 6) == 0) {
+      unsigned long long Value = 0;
+      if (std::sscanf(Line + 6, "%llu", &Value) == 1)
+        Kb = Value;
+      break;
+    }
+  }
+  std::fclose(F);
+  return Kb;
+}
 
 //===----------------------------------------------------------------------===//
 // Node

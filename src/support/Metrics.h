@@ -47,6 +47,12 @@ private:
   Clock::time_point Start;
 };
 
+/// Process-wide peak resident set size in KiB (Linux: the VmHWM line of
+/// /proc/self/status). Returns 0 when the value is unavailable (other
+/// platforms, or an unreadable procfs) — callers emit the metric either
+/// way so the schema stays stable.
+uint64_t readPeakRssKb();
+
 /// A tree of named metrics. Leaves are either integral *counters* or
 /// floating-point *timers* (seconds; by convention their names end in
 /// "_seconds"). Interior nodes are *scopes*. Insertion order is

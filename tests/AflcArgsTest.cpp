@@ -1,8 +1,10 @@
-// Tests for the strict CLI numeric parser behind aflc's -j /
-// --solver-jobs / --closure-jobs / @builtin N arguments: a count either
-// parses as a plain base-10 unsigned integer or it is a usage error —
-// never atoi's silent 0 / prefix salvage.
+// Tests for the strict CLI parsers behind aflc's arguments: a count
+// (-j / --solver-jobs / --closure-jobs / @builtin N) either parses as a
+// plain base-10 unsigned integer or it is a usage error — never atoi's
+// silent 0 / prefix salvage — and a backend name (--interp= /
+// $AFL_INTERP) is exactly "vm" or "tree", never a silent fallback.
 
+#include "interp/Interp.h"
 #include "support/CliParse.h"
 
 #include <gtest/gtest.h>
@@ -62,6 +64,27 @@ TEST(CliParse, RejectsWhitespaceAndBasePrefixes) {
   EXPECT_FALSE(parseCliUnsigned("0x10", V));
   EXPECT_FALSE(parseCliUnsigned("1e3", V));
   EXPECT_EQ(V, 7u);
+}
+
+TEST(CliParse, BackendNamesParseExactly) {
+  interp::BackendKind B = interp::BackendKind::Tree;
+  EXPECT_TRUE(interp::parseBackendName("vm", B));
+  EXPECT_EQ(B, interp::BackendKind::Vm);
+  EXPECT_TRUE(interp::parseBackendName("tree", B));
+  EXPECT_EQ(B, interp::BackendKind::Tree);
+}
+
+TEST(CliParse, BackendNamesRejectEverythingElse) {
+  interp::BackendKind B = interp::BackendKind::Vm;
+  EXPECT_FALSE(interp::parseBackendName("", B));
+  EXPECT_FALSE(interp::parseBackendName("v", B));
+  EXPECT_FALSE(interp::parseBackendName("VM", B));
+  EXPECT_FALSE(interp::parseBackendName("treee", B));
+  EXPECT_FALSE(interp::parseBackendName("vm ", B));
+  EXPECT_FALSE(interp::parseBackendName(" tree", B));
+  EXPECT_FALSE(interp::parseBackendName("interpreter", B));
+  EXPECT_EQ(B, interp::BackendKind::Vm)
+      << "output must be untouched on failure";
 }
 
 } // namespace

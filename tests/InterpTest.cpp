@@ -1,9 +1,12 @@
 // Unit tests for the instrumented interpreter: Fig. 2 semantics,
 // instrumentation counters, trace recording, and safety trapping
-// (the dynamic checks behind Theorem 5.1).
+// (the dynamic checks behind Theorem 5.1). Every test runs under both
+// evaluators — the bytecode VM and the tree walker — so the trap
+// messages and counters are pinned for each backend independently.
 
 #include "ast/ASTContext.h"
 #include "completion/Conservative.h"
+#include "completion/StorageModes.h"
 #include "interp/Interp.h"
 #include "parser/Parser.h"
 #include "regions/RegionInference.h"
@@ -35,9 +38,18 @@ Built build(const std::string &Source) {
   return B;
 }
 
-TEST(Interp, CountsValueAllocations) {
+class InterpTest : public ::testing::TestWithParam<interp::BackendKind> {
+protected:
+  interp::RunResult run(const RegionProgram &Prog, const Completion &C,
+                        interp::RunOptions Options = interp::RunOptions()) {
+    Options.Backend = GetParam();
+    return interp::run(Prog, C, Options);
+  }
+};
+
+TEST_P(InterpTest, CountsValueAllocations) {
   Built B = build("1 + 2");
-  interp::RunResult R = interp::run(*B.Prog, B.Cons);
+  interp::RunResult R = run(*B.Prog, B.Cons);
   ASSERT_TRUE(R.Ok) << R.Error;
   // Three boxed values: 1, 2, and the sum.
   EXPECT_EQ(R.S.TotalValueAllocs, 3u);
@@ -46,29 +58,29 @@ TEST(Interp, CountsValueAllocations) {
   EXPECT_EQ(R.ResultText, "3");
 }
 
-TEST(Interp, RegionAllocationCounting) {
+TEST_P(InterpTest, RegionAllocationCounting) {
   Built B = build("let x = (1, 2) in fst x end");
-  interp::RunResult R = interp::run(*B.Prog, B.Cons);
+  interp::RunResult R = run(*B.Prog, B.Cons);
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_GE(R.S.TotalRegionAllocs, 3u);
   EXPECT_GE(R.S.MaxRegions, 1u);
   EXPECT_LE(R.S.MaxValues, R.S.TotalValueAllocs);
 }
 
-TEST(Interp, FinalValuesCountsResidentOnly) {
+TEST_P(InterpTest, FinalValuesCountsResidentOnly) {
   // The dead pair is freed by the conservative completion at letregion
   // exit; only the result int remains.
   Built B = build("let x = (1, 2) in 5 end");
-  interp::RunResult R = interp::run(*B.Prog, B.Cons);
+  interp::RunResult R = run(*B.Prog, B.Cons);
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_EQ(R.S.FinalValues, 1u);
 }
 
-TEST(Interp, TraceIsMonotoneInTime) {
+TEST_P(InterpTest, TraceIsMonotoneInTime) {
   Built B = build("letrec f n = if n = 0 then 0 else f (n - 1) in f 5 end");
   interp::RunOptions Options;
   Options.RecordTrace = true;
-  interp::RunResult R = interp::run(*B.Prog, B.Cons, Options);
+  interp::RunResult R = run(*B.Prog, B.Cons, Options);
   ASSERT_TRUE(R.Ok) << R.Error;
   ASSERT_FALSE(R.Trace.empty());
   uint64_t Peak = 0;
@@ -80,7 +92,7 @@ TEST(Interp, TraceIsMonotoneInTime) {
   EXPECT_EQ(R.Trace.size(), R.S.Time);
 }
 
-TEST(Interp, TrapsOnUseAfterFree) {
+TEST_P(InterpTest, TrapsOnUseAfterFree) {
   // Sabotage the completion: free the result region of "1 + 2" before
   // the addition reads its operands.
   Built B = build("1 + 2");
@@ -89,24 +101,24 @@ TEST(Interp, TrapsOnUseAfterFree) {
   const RExpr *Lhs = cast<RBinOpExpr>(B.Prog->Root)->lhs();
   Completion Bad = B.Cons;
   Bad.Post[Lhs->id()].push_back({COpKind::FreeAfter, Lhs->writeRegion()});
-  interp::RunResult R = interp::run(*B.Prog, Bad);
+  interp::RunResult R = run(*B.Prog, Bad);
   EXPECT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("not allocated"), std::string::npos);
 }
 
-TEST(Interp, TrapsOnDoubleAllocation) {
+TEST_P(InterpTest, TrapsOnDoubleAllocation) {
   Built B = build("1 + 2");
   Completion Bad = B.Cons;
   const RExpr *Lhs = cast<RBinOpExpr>(B.Prog->Root)->lhs();
   // The region is already allocated (conservatively, at program entry
   // or letregion entry); allocating again must trap.
   Bad.Pre[Lhs->id()].push_back({COpKind::AllocBefore, Lhs->writeRegion()});
-  interp::RunResult R = interp::run(*B.Prog, Bad);
+  interp::RunResult R = run(*B.Prog, Bad);
   EXPECT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("not unallocated"), std::string::npos);
 }
 
-TEST(Interp, TrapsOnDoubleFree) {
+TEST_P(InterpTest, TrapsOnDoubleFree) {
   Built B = build("let x = 1 in 2 end");
   // Free x's region twice.
   const auto *Let = cast<RLetExpr>(B.Prog->Root);
@@ -114,40 +126,77 @@ TEST(Interp, TrapsOnDoubleFree) {
   Completion Bad = B.Cons;
   Bad.Post[Init->id()].push_back({COpKind::FreeAfter, Init->writeRegion()});
   Bad.Post[Init->id()].push_back({COpKind::FreeAfter, Init->writeRegion()});
-  interp::RunResult R = interp::run(*B.Prog, Bad);
+  interp::RunResult R = run(*B.Prog, Bad);
   EXPECT_FALSE(R.Ok);
 }
 
-TEST(Interp, TrapsOnWriteToUnallocatedRegion) {
+TEST_P(InterpTest, TrapsOnWriteToUnallocatedRegion) {
   Built B = build("1 + 2");
   // Remove every allocation: the first write faults.
   Completion Empty;
-  interp::RunResult R = interp::run(*B.Prog, Empty);
+  interp::RunResult R = run(*B.Prog, Empty);
   EXPECT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("not allocated"), std::string::npos);
 }
 
-TEST(Interp, TrapsOnRegionLeftAllocatedAtScopeExit) {
+TEST_P(InterpTest, TrapsOnRegionLeftAllocatedAtScopeExit) {
   Built B = build("let x = (1, 2) in 5 end");
   // Strip the frees from the conservative completion: letregion exit
   // must detect the still-allocated region.
   Completion NoFrees = B.Cons;
   NoFrees.Post.clear();
-  interp::RunResult R = interp::run(*B.Prog, NoFrees);
+  interp::RunResult R = run(*B.Prog, NoFrees);
   EXPECT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("letregion exit"), std::string::npos);
 }
 
-TEST(Interp, StepLimit) {
+TEST_P(InterpTest, StepLimit) {
   Built B = build("letrec loop n = loop n in loop 1 end");
   interp::RunOptions Options;
   Options.MaxSteps = 10000;
-  interp::RunResult R = interp::run(*B.Prog, B.Cons, Options);
+  interp::RunResult R = run(*B.Prog, B.Cons, Options);
   EXPECT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("step limit"), std::string::npos);
 }
 
-TEST(Interp, RendersValues) {
+TEST_P(InterpTest, DepthLimit) {
+  // Runaway recursion with a small frame budget hits the depth guard
+  // before the step limit. The walker counts host-stack recursion
+  // levels; the VM counts explicit frames plus static depth — both
+  // report the same trap.
+  Built B = build("letrec loop n = loop (n + 1) in loop 1 end");
+  interp::RunOptions Options;
+  Options.MaxDepth = 64;
+  interp::RunResult R = run(*B.Prog, B.Cons, Options);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("recursion depth limit exceeded"), std::string::npos)
+      << R.Error;
+}
+
+TEST_P(InterpTest, TrapsOnReadOfResetValue) {
+  // Sabotaged storage modes: marking the *outer* cons of a two-cell
+  // list atbot resets the shared list region after the inner cell was
+  // written, so reading the tail cell must trap. (inferStorageModes
+  // never produces this — the inner cell is pending — which is exactly
+  // why an unsound mode must be caught dynamically.)
+  Built B = build("hd (tl (1 :: 2 :: nil))");
+  const auto *Hd = cast<RUnOpExpr>(B.Prog->Root);
+  const auto *Tl = cast<RUnOpExpr>(Hd->operand());
+  const RExpr *OuterCons = Tl->operand();
+  completion::StorageModes Bad;
+  Bad.AtBot.insert(OuterCons->id());
+  interp::RunOptions Options;
+  Options.Modes = &Bad;
+  interp::RunResult R = run(*B.Prog, B.Cons, Options);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("destroyed by a region reset"), std::string::npos)
+      << R.Error;
+  EXPECT_EQ(R.S.Resets, 1u);
+  // The reset destroys the inner cons cell and the boxed nil.
+  EXPECT_EQ(R.S.ResetValues, 2u);
+}
+
+TEST_P(InterpTest, RendersValues) {
   struct Case {
     const char *Source;
     const char *Expected;
@@ -164,18 +213,27 @@ TEST(Interp, RendersValues) {
   };
   for (const Case &C : Cases) {
     Built B = build(C.Source);
-    interp::RunResult R = interp::run(*B.Prog, B.Cons);
+    interp::RunResult R = run(*B.Prog, B.Cons);
     ASSERT_TRUE(R.Ok) << C.Source << ": " << R.Error;
     EXPECT_EQ(R.ResultText, C.Expected) << C.Source;
   }
 }
 
-TEST(Interp, TimeCountsAllMemoryOperations) {
+TEST_P(InterpTest, TimeCountsAllMemoryOperations) {
   Built B = build("1 + 2");
-  interp::RunResult R = interp::run(*B.Prog, B.Cons);
+  interp::RunResult R = run(*B.Prog, B.Cons);
   ASSERT_TRUE(R.Ok);
   EXPECT_EQ(R.S.Time, R.S.Reads + R.S.Writes + R.S.TotalRegionAllocs +
                           (R.S.TotalRegionAllocs - R.S.CurRegions));
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, InterpTest,
+                         ::testing::Values(interp::BackendKind::Vm,
+                                           interp::BackendKind::Tree),
+                         [](const auto &Info) {
+                           return Info.param == interp::BackendKind::Vm
+                                      ? "Vm"
+                                      : "Tree";
+                         });
 
 } // namespace

@@ -36,6 +36,21 @@ TEST(Stopwatch, ResetRestarts) {
   EXPECT_LT(W.seconds(), Before);
 }
 
+TEST(PeakRss, ReadableAndPlausibleOnLinux) {
+  // On Linux /proc/self/status always has a VmHWM line; a gtest binary
+  // holds at least a megabyte resident. Elsewhere the helper's 0
+  // fallback applies (vacuously fine here).
+  uint64_t Kb = readPeakRssKb();
+#ifdef __linux__
+  EXPECT_GT(Kb, 1024u);
+  // Monotone non-decreasing: it is a high-water mark.
+  std::vector<char> Ballast(8 * 1024 * 1024, 1);
+  EXPECT_GE(readPeakRssKb(), Kb) << (unsigned)Ballast[42];
+#else
+  (void)Kb;
+#endif
+}
+
 TEST(Metrics, CountersAccumulate) {
   MetricsRegistry Reg;
   Reg.add("widgets", 2);

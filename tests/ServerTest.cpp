@@ -16,6 +16,7 @@
 #include "constraints/ConstraintGen.h"
 #include "driver/Pipeline.h"
 #include "driver/Server.h"
+#include "interp/Interp.h"
 #include "programs/Corpus.h"
 #include "solver/Solver.h"
 #include "support/Json.h"
@@ -191,6 +192,39 @@ TEST(ServerProtocol, OpenQueryCloseShutdown) {
   json::Value Down = call(S, "{\"method\":\"shutdown\"}");
   EXPECT_TRUE(okOf(Down));
   EXPECT_TRUE(S.shutdownRequested());
+}
+
+TEST(ServerProtocol, RunQueryExecutesDocument) {
+  driver::Server S;
+  int64_t Doc = -1;
+  json::Value R = openDoc(S, "let x = (1, 2) in fst x + snd x end", &Doc);
+  ASSERT_TRUE(okOf(R));
+
+  json::Value Q = call(S, "{\"method\":\"query\",\"params\":{\"doc\":" +
+                              std::to_string(Doc) + ",\"what\":\"run\"}}");
+  ASSERT_TRUE(okOf(Q));
+  EXPECT_TRUE(dig(Q, {"result", "run", "ok"})->asBool());
+  EXPECT_EQ(dig(Q, {"result", "run", "result"})->asString(), "3");
+  // Served runs use the process-default backend (VM unless
+  // $AFL_INTERP=tree, e.g. the CI tree-walker leg).
+  const char *Backend =
+      interp::defaultBackend() == interp::BackendKind::Vm ? "vm" : "tree";
+  EXPECT_EQ(dig(Q, {"result", "run", "backend"})->asString(), Backend);
+  EXPECT_GT(dig(Q, {"result", "run", "stats", "value_allocs"})->asInt(), 0);
+  EXPECT_GT(dig(Q, {"result", "run", "stats", "memory_ops"})->asInt(), 0);
+  ASSERT_NE(dig(Q, {"result", "run", "micros", "total_us"}), nullptr);
+  ASSERT_NE(dig(Q, {"result", "run", "micros", "compile_us"}), nullptr);
+
+  // A run on an unknown document is an error, and the unknown-query
+  // message advertises the new verb.
+  json::Value Bad = call(
+      S, "{\"method\":\"query\",\"params\":{\"doc\":999,\"what\":\"run\"}}");
+  EXPECT_FALSE(okOf(Bad));
+  json::Value Unknown =
+      call(S, "{\"method\":\"query\",\"params\":{\"doc\":" +
+                  std::to_string(Doc) + ",\"what\":\"bogus\"}}");
+  EXPECT_FALSE(okOf(Unknown));
+  EXPECT_NE(Unknown.find("error")->asString().find("run"), std::string::npos);
 }
 
 TEST(ServerProtocol, TimingsPresentOnEveryResponse) {

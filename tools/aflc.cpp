@@ -26,6 +26,9 @@
 ///   --closure-jobs N     worker threads for the closure analysis
 ///                        (0 = all cores, 1 = sequential worklist;
 ///                        default: $AFL_CLOSURE_JOBS or 1)
+///   --interp=vm|tree     evaluator for the instrumented runs: bytecode
+///                        VM (default) or the Fig. 2 tree walker
+///                        (default: $AFL_INTERP or vm)
 ///   --no-run             analysis only (skip the instrumented runs)
 ///   --timings            print the per-stage wall-time table
 ///   --metrics[=FILE]     emit per-stage metrics as JSON (stdout or FILE)
@@ -43,6 +46,7 @@
 #include "driver/BatchRunner.h"
 #include "driver/Pipeline.h"
 #include "driver/Server.h"
+#include "interp/Interp.h"
 #include "programs/Corpus.h"
 #include "regions/RegionPrinter.h"
 #include "regions/Validator.h"
@@ -77,6 +81,8 @@ void usage() {
       "  --solver-jobs N     threads for the per-component solve\n"
       "  --closure-jobs N    threads for the closure analysis\n"
       "  --dump-constraints  print the generated constraint system\n"
+      "  --interp=vm|tree    evaluator for the runs (default: $AFL_INTERP "
+      "or vm)\n"
       "  --no-run            skip instrumented runs\n"
       "  --timings           per-stage wall-time table\n"
       "  --metrics[=FILE]    per-stage metrics as JSON\n"
@@ -98,6 +104,22 @@ unsigned parseJobsArg(const char *Flag, const char *Text) {
     std::exit(2);
   }
   return Value;
+}
+
+/// Strictly parses the backend name of --interp= / $AFL_INTERP. Unlike
+/// the library's lenient defaultBackend(), a typo here ("v", "treee")
+/// is a usage error, not a silent fallback to the VM.
+interp::BackendKind parseInterpArg(const char *What, const char *Text) {
+  interp::BackendKind B = interp::BackendKind::Vm;
+  if (!interp::parseBackendName(Text, B)) {
+    std::fprintf(stderr,
+                 "aflc: invalid value '%s' for %s (expected 'vm' or "
+                 "'tree')\n",
+                 Text, What);
+    usage();
+    std::exit(2);
+  }
+  return B;
 }
 
 std::string builtinSource(const std::string &Name, int N) {
@@ -225,6 +247,12 @@ int main(int Argc, char **Argv) {
   solver::SolveOptions Solve;
   closure::ClosureOptions Closure;
 
+  // The library reads $AFL_INTERP leniently; the CLI rejects a bad value
+  // up front so a typo cannot silently run the wrong evaluator.
+  interp::BackendKind Backend = interp::BackendKind::Vm;
+  if (const char *Env = std::getenv("AFL_INTERP"))
+    Backend = parseInterpArg("$AFL_INTERP", Env);
+
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--emit=", 0) == 0) {
@@ -239,6 +267,8 @@ int main(int Argc, char **Argv) {
       Stats = true;
     } else if (Arg == "--validate") {
       Validate = true;
+    } else if (Arg.rfind("--interp=", 0) == 0) {
+      Backend = parseInterpArg("--interp", Arg.c_str() + 9);
     } else if (Arg == "--no-run") {
       NoRun = true;
     } else if (Arg == "--serve") {
@@ -327,6 +357,7 @@ int main(int Argc, char **Argv) {
   Options.GenOptions = Gen;
   Options.SolveOptions = Solve;
   Options.ClosureOptions = Closure;
+  Options.Backend = Backend;
 
   if (Serve) {
     driver::Server S;
@@ -408,6 +439,10 @@ int main(int Argc, char **Argv) {
     {
       MetricScope S(Reg, "pipeline");
       R.recordMetrics(Reg);
+      // Single-run process, so the process-wide peak RSS is this
+      // pipeline's memory profile (batch mode reports it per batch).
+      MetricScope Runs(Reg, "runs");
+      Reg.set("peak_rss_kb", readPeakRssKb());
     }
     if (!emitJson(MetricsFile, Reg.json()))
       return 1;

@@ -10,7 +10,7 @@
 #define AFL_AST_ASTCONTEXT_H
 
 #include "ast/Expr.h"
-#include "support/Arena.h"
+#include "support/ArenaPool.h"
 #include "support/StringInterner.h"
 
 #include <string_view>
@@ -19,7 +19,9 @@ namespace afl {
 namespace ast {
 
 /// Allocation context for surface ASTs. All nodes created through a context
-/// stay valid for the lifetime of the context.
+/// stay valid for the lifetime of the context. The backing arena is leased
+/// from the process-wide ArenaPool, so contexts constructed per batch item
+/// or server request recycle each other's slabs.
 class ASTContext {
 public:
   ASTContext() = default;
@@ -30,7 +32,7 @@ public:
   const StringInterner &interner() const { return Interner; }
 
   Symbol intern(std::string_view Name) { return Interner.intern(Name); }
-  const std::string &text(Symbol S) const { return Interner.text(S); }
+  std::string_view text(Symbol S) const { return Interner.text(S); }
 
   /// Number of nodes created so far; node ids are in [0, numNodes()).
   uint32_t numNodes() const { return NextId; }
@@ -104,8 +106,10 @@ public:
   }
 
 private:
-  Arena Mem;
-  StringInterner Interner;
+  PooledArena Mem;
+  // Interner bytes share the pooled arena; Mem is declared first so it
+  // outlives the interner on destruction.
+  StringInterner Interner{Mem.arena()};
   uint32_t NextId = 0;
 };
 

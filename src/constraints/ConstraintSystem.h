@@ -30,6 +30,8 @@
 #ifndef AFL_CONSTRAINTS_CONSTRAINTSYSTEM_H
 #define AFL_CONSTRAINTS_CONSTRAINTSYSTEM_H
 
+#include "support/PackedDomains.h"
+
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
@@ -76,8 +78,8 @@ public:
     return static_cast<StateVarId>(StateDom.size() - 1);
   }
 
-  BoolVarId newBool() {
-    BoolDom.push_back(BAny);
+  BoolVarId newBool(uint8_t Domain = BAny) {
+    BoolDom.push_back(Domain);
     if (Tracking)
       BFirst.push_back(NoVar);
     return static_cast<BoolVarId>(BoolDom.size() - 1);
@@ -108,7 +110,9 @@ public:
   }
 
   /// Initial domain restriction (e.g. "this state is A": mask StA).
-  void restrictState(StateVarId S, uint8_t Mask) { StateDom[S] &= Mask; }
+  void restrictState(StateVarId S, uint8_t Mask) {
+    StateDom.set(S, StateDom.get(S) & Mask);
+  }
 
   size_t numStateVars() const { return StateDom.size(); }
   size_t numBoolVars() const { return BoolDom.size(); }
@@ -190,9 +194,11 @@ public:
     return Largest;
   }
 
-  // Solver access.
-  std::vector<uint8_t> StateDom;
-  std::vector<uint8_t> BoolDom;
+  // Solver access. Domains are bit-packed (support/PackedDomains.h):
+  // 3 bits per state variable, 2 per boolean — read with get()/[],
+  // write with set().
+  support::StateDomains StateDom;
+  support::BoolDomains BoolDom;
   std::vector<Constraint> Cons;
 
 private:

@@ -4,6 +4,7 @@
 #include "parser/Parser.h"
 #include "regions/RegionInference.h"
 #include "regions/RegionPrinter.h"
+#include "support/ArenaPool.h"
 
 #include <cstdio>
 
@@ -237,11 +238,37 @@ std::string driver::formatTimings(const PipelineStats &Stats,
                   Simp.Components, Simp.ThreadsUsed);
     Out += Buf;
   }
+  if (ArenaPool::globalEnabled()) {
+    ArenaPool::Stats Pool = ArenaPool::global().stats();
+    std::snprintf(Buf, sizeof(Buf),
+                  "memory: arena pool %zu/%zu checkout(s) reused, "
+                  "%zu arena(s) pooled (%zu KiB retained)\n",
+                  Pool.Hits, Pool.Checkouts, Pool.Pooled,
+                  Pool.RetainedBytes / 1024);
+    Out += Buf;
+  } else {
+    Out += "memory: arena pool off ($AFL_ARENA_POOL=0)\n";
+  }
   return Out;
 }
 
 std::string PipelineResult::formatTimings() const {
   return driver::formatTimings(Stats, Analysis);
+}
+
+void driver::recordMemoryMetrics(MetricsRegistry &Reg) {
+  ArenaPool::Stats S = ArenaPool::global().stats();
+  MetricScope Mem(Reg, "memory");
+  MetricScope Pool(Reg, "arena_pool");
+  Reg.set("enabled", ArenaPool::globalEnabled() ? 1 : 0);
+  Reg.set("checkouts", S.Checkouts);
+  Reg.set("hits", S.Hits);
+  Reg.set("misses", S.Misses);
+  Reg.set("returns", S.Returns);
+  Reg.set("discarded", S.Discarded);
+  Reg.set("pooled", S.Pooled);
+  Reg.set("retained_bytes", S.RetainedBytes);
+  Reg.set("max_pooled", ArenaPool::global().maxPooled());
 }
 
 FrontEnd driver::runFrontEnd(std::string_view Source,

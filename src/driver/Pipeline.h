@@ -165,6 +165,11 @@ void recordPipelineMetrics(MetricsRegistry &Reg, const PipelineStats &Stats,
 std::string formatTimings(const PipelineStats &Stats,
                           const completion::AflStats &Analysis);
 
+/// Emits the process-wide arena-pool counters as a "memory" scope under
+/// the current registry scope (schema in docs/OBSERVABILITY.md). Shared
+/// by single-run, batch, and server metrics emission.
+void recordMemoryMetrics(MetricsRegistry &Reg);
+
 } // namespace driver
 } // namespace afl
 

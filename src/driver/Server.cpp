@@ -4,6 +4,7 @@
 #include "completion/Conservative.h"
 #include "driver/Incremental.h"
 #include "interp/Interp.h"
+#include "support/ArenaPool.h"
 #include "support/Metrics.h"
 
 #include <cmath>
@@ -56,12 +57,14 @@ std::string reportJson(const completion::CompletionReport &R) {
 }
 
 /// A solver domain vector as a compact digit string ('1'..'7' per state
-/// var, '1'..'3' per bool var).
-std::string domainString(const std::vector<uint8_t> &Dom) {
+/// var, '1'..'3' per bool var). Takes the packed lane arrays
+/// (support/PackedDomains.h) the solver now returns.
+template <unsigned Bits>
+std::string domainString(const support::PackedArray<Bits> &Dom) {
   std::string O;
   O.reserve(Dom.size());
-  for (uint8_t D : Dom)
-    O.push_back(static_cast<char>('0' + (D & 7)));
+  for (size_t I = 0; I != Dom.size(); ++I)
+    O.push_back(static_cast<char>('0' + (Dom.get(I) & 7)));
   return O;
 }
 
@@ -303,6 +306,19 @@ std::string Server::handleQuery(const json::Value &Params,
     O += ",\"dirtied_contexts\":" + std::to_string(Stats.DirtiedContexts);
     O += ",\"shards_solved\":" + std::to_string(Stats.ShardsSolved);
     O += ",\"shards_reused\":" + std::to_string(Stats.ShardsReused);
+    // Process-wide arena-pool counters: every open/edit leases its AST
+    // and region-IR arenas from the pool (docs/OBSERVABILITY.md).
+    ArenaPool::Stats Pool = ArenaPool::global().stats();
+    O += ",\"memory\":{\"arena_pool\":{";
+    O += "\"enabled\":" +
+         std::string(ArenaPool::globalEnabled() ? "true" : "false");
+    O += ",\"checkouts\":" + std::to_string(Pool.Checkouts);
+    O += ",\"hits\":" + std::to_string(Pool.Hits);
+    O += ",\"misses\":" + std::to_string(Pool.Misses);
+    O += ",\"returns\":" + std::to_string(Pool.Returns);
+    O += ",\"pooled\":" + std::to_string(Pool.Pooled);
+    O += ",\"retained_bytes\":" + std::to_string(Pool.RetainedBytes);
+    O += "}}";
     O += "}}";
     return O;
   }

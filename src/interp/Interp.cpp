@@ -561,8 +561,16 @@ std::string Machine::render(Addr A, unsigned Depth) {
     return "<fn>";
   case Value::Kind::RegClos:
     return "<regfn>";
-  case Value::Kind::Pair:
-    return "(" + render(V.A, Depth + 1) + ", " + render(V.B, Depth + 1) + ")";
+  case Value::Kind::Pair: {
+    // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+    // fires a false positive on the inlined char*+string&& overload.
+    std::string Out = "(";
+    Out += render(V.A, Depth + 1);
+    Out += ", ";
+    Out += render(V.B, Depth + 1);
+    Out += ")";
+    return Out;
+  }
   case Value::Kind::Nil:
   case Value::Kind::Cons: {
     std::string Out = "[";

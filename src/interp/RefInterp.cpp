@@ -75,7 +75,7 @@ private:
     for (RefEnv *E = Env.get(); E; E = E->Parent.get())
       if (E->Name == Name)
         return E->Val;
-    return fail("unbound variable '" + Ctx.text(Name) + "'");
+    return fail("unbound variable '" + std::string(Ctx.text(Name)) + "'");
   }
 
   static RefEnvPtr push(RefEnvPtr Parent, Symbol Name, RefValuePtr Val) {
@@ -268,9 +268,16 @@ private:
       return "()";
     case RefValue::Kind::Clos:
       return "<fn>";
-    case RefValue::Kind::Pair:
-      return "(" + render(V->A, Depth + 1) + ", " + render(V->B, Depth + 1) +
-             ")";
+    case RefValue::Kind::Pair: {
+      // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+      // fires a false positive on the inlined char*+string&& overload.
+      std::string Out = "(";
+      Out += render(V->A, Depth + 1);
+      Out += ", ";
+      Out += render(V->B, Depth + 1);
+      Out += ")";
+      return Out;
+    }
     case RefValue::Kind::Nil:
     case RefValue::Kind::Cons: {
       std::string Out = "[";

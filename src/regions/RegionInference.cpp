@@ -234,7 +234,7 @@ Res RegionInferencer::inferLetrec(const ast::LetrecExpr *E) {
       types().mkArrow(ParamTy, Eps, ResultTy, types().freshRegion());
 
   auto Fun = std::make_unique<FunDecl>();
-  Fun->Var = Prog.addVar(Ctx.text(E->fnName()), SchemeArrow);
+  Fun->Var = Prog.addVar(std::string(Ctx.text(E->fnName())), SchemeArrow);
   Fun->SchemeArrow = SchemeArrow;
   Fun->ClosRegion = types().freshRegion();
   Fun->EnvDepth = Env.size();
@@ -248,7 +248,7 @@ Res RegionInferencer::inferLetrec(const ast::LetrecExpr *E) {
   VarId ParamVar = 0;
   bool Stable = false;
   for (unsigned Iter = 0; Iter != MaxFixpointIters; ++Iter) {
-    ParamVar = Prog.addVar(Ctx.text(E->param()), ParamTy);
+    ParamVar = Prog.addVar(std::string(Ctx.text(E->param())), ParamTy);
     Env.push_back({E->param(), ParamVar, ParamTy, nullptr});
     BodyRes = infer(E->fnBody());
     Env.pop_back();
@@ -271,7 +271,7 @@ Res RegionInferencer::inferLetrec(const ast::LetrecExpr *E) {
   }
   if (!Stable) {
     Diags.error(E->loc(), "region inference did not reach a fixpoint for '" +
-                              Ctx.text(E->fnName()) + "'");
+                              std::string(Ctx.text(E->fnName())) + "'");
     Env.pop_back();
     return {};
   }
@@ -339,7 +339,7 @@ Res RegionInferencer::infer(const ast::Expr *E) {
     const auto *L = ast::cast<ast::LambdaExpr>(E);
     RTypeId ParamTy =
         types().freshFromType(Typed.Table, Typed.paramTypeOf(E));
-    VarId ParamVar = Prog.addVar(Ctx.text(L->param()), ParamTy);
+    VarId ParamVar = Prog.addVar(std::string(Ctx.text(L->param())), ParamTy);
     Env.push_back({L->param(), ParamVar, ParamTy, nullptr});
     Res Body = infer(L->body());
     Env.pop_back();
@@ -389,7 +389,7 @@ Res RegionInferencer::infer(const ast::Expr *E) {
     Res Init = infer(L->init());
     if (!Init.Node)
       return {};
-    VarId V = Prog.addVar(Ctx.text(L->name()), Init.Type);
+    VarId V = Prog.addVar(std::string(Ctx.text(L->name())), Init.Type);
     Env.push_back({L->name(), V, Init.Type, nullptr});
     Res Body = infer(L->body());
     Env.pop_back();

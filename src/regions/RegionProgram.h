@@ -10,7 +10,7 @@
 #define AFL_REGIONS_REGIONPROGRAM_H
 
 #include "regions/RegionExpr.h"
-#include "support/Arena.h"
+#include "support/ArenaPool.h"
 
 #include <string>
 #include <vector>
@@ -85,7 +85,7 @@ public:
   RExpr *nodeMut(RNodeId Id) { return Nodes[Id]; }
 
 private:
-  Arena Mem;
+  PooledArena Mem;
   std::vector<RExpr *> Nodes;
   std::vector<VarInfo> Vars;
 };

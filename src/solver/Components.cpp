@@ -92,8 +92,7 @@ ComponentSplit solver::splitComponents(const ConstraintSystem &Sys) {
     if (!Occurs[NS + B])
       continue;
     Component &Comp = Out.Comps[CompFor(static_cast<uint32_t>(NS) + B)];
-    LocalId[NS + B] = Comp.Sys.newBool();
-    Comp.Sys.BoolDom.back() = Sys.BoolDom[B];
+    LocalId[NS + B] = Comp.Sys.newBool(Sys.BoolDom.get(B));
     Comp.BoolGlobal.push_back(B);
   }
 
@@ -149,8 +148,7 @@ Component solver::materializeShard(const ConstraintSystem &Sys, uint32_t K,
     Comp.StateGlobal.push_back(S);
   }
   for (uint32_t B : Sys.shardBools(K)) {
-    Comp.Sys.newBool();
-    Comp.Sys.BoolDom.back() = Sys.BoolDom[B];
+    Comp.Sys.newBool(Sys.BoolDom.get(B));
     Comp.BoolGlobal.push_back(B);
   }
   // Shard constraint lists keep emission order, so the materialized

@@ -38,7 +38,7 @@ namespace {
 /// produce bit-identical residuals for the same stream.
 template <typename ForEachCons>
 SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
-                              std::vector<uint8_t> Dom,
+                              support::StateDomains Dom,
                               ForEachCons &&ForEach) {
   SimplifiedSystem Out;
   Out.Stats.StateVarsBefore = NS;
@@ -49,12 +49,10 @@ SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
 
   // An empty *initial* domain is a conflict even if the variable occurs
   // in no constraint (restrictState can zero a domain the propagator
-  // never visits).
-  for (uint8_t D : Dom) {
-    if (D == 0) {
-      Out.Conflict = true;
-      return Out;
-    }
+  // never visits). Word-at-a-time over the packed lanes.
+  if (Dom.hasZeroEntry()) {
+    Out.Conflict = true;
+    return Out;
   }
 
   // Union-find over the state variables. Each root carries the class
@@ -87,8 +85,9 @@ SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
     if (A == B)
       return;
     Parent[B] = A;
-    Dom[A] &= Dom[B];
-    if (Dom[A] == 0)
+    uint8_t Merged = Dom.get(A) & Dom.get(B);
+    Dom.set(A, Merged);
+    if (Merged == 0)
       EarlyConflict = true;
   });
   if (EarlyConflict) {
@@ -175,11 +174,11 @@ SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
     if (Count[A] < Count[B])
       std::swap(A, B);
     Parent[B] = A;
-    uint8_t NewDom = Dom[A] & Dom[B];
-    if (NewDom != Dom[A])
+    uint8_t NewDom = Dom.get(A) & Dom.get(B);
+    if (NewDom != Dom.get(A))
       EnqueueClass(A);
     EnqueueClass(B);
-    Dom[A] = NewDom;
+    Dom.set(A, NewDom);
     if (NewDom == 0) {
       Conflict = true;
       return;
@@ -198,10 +197,10 @@ SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
   };
   auto Restrict = [&](uint32_t R, uint8_t Mask) {
     R = Find(R);
-    uint8_t NewDom = Dom[R] & Mask;
-    if (NewDom == Dom[R])
+    uint8_t NewDom = Dom.get(R) & Mask;
+    if (NewDom == Dom.get(R))
       return;
-    Dom[R] = NewDom;
+    Dom.set(R, NewDom);
     if (NewDom == 0) {
       Conflict = true;
       return;
@@ -209,10 +208,10 @@ SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
     EnqueueClass(R);
   };
 
-  std::vector<uint8_t> BD(NB, BAny);
+  support::BoolDomains BD(NB, BAny);
   auto ForceBool = [&](BoolVarId B, uint8_t Value) {
-    assert(BD[B] == BAny);
-    BD[B] = Value;
+    assert(BD.get(B) == BAny);
+    BD.set(B, Value);
     ++Out.Stats.BoolsForced;
     for (uint32_t I = BoolStart[B]; I != BoolStart[B + 1]; ++I)
       Enqueue(BoolTriples[I]);
@@ -230,7 +229,7 @@ SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
     const uint8_t From = IsAlloc ? StU : StA;
     const uint8_t To = IsAlloc ? StA : StD;
     uint32_t R1 = Find(C.S1), R2 = Find(C.S2);
-    if (BD[C.B] == BTrue) {
+    if (BD.get(C.B) == BTrue) {
       // Checked before the R1 == R2 case: a true boolean on a
       // same-representative triple empties the domain below (From and
       // To are disjoint), which is the correct conflict.
@@ -241,17 +240,17 @@ SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
         Restrict(R2, To);
       continue;
     }
-    if (BD[C.B] == BFalse || R1 == R2) {
+    if (BD.get(C.B) == BFalse || R1 == R2) {
       // ¬b → s1 = s2. With s1 and s2 already one variable the
       // transition is impossible, so b is false either way.
       Alive[TI] = false;
       ++Out.Stats.ForcedTriplesRemoved;
-      if (BD[C.B] == BAny)
+      if (BD.get(C.B) == BAny)
         ForceBool(C.B, BFalse);
       Merge(R1, R2);
       continue;
     }
-    uint8_t D1 = Dom[R1], D2 = Dom[R2];
+    uint8_t D1 = Dom.get(R1), D2 = Dom.get(R2);
     if (!(D1 & From) || !(D2 & To)) {
       // The transition states are unreachable: b must be false.
       Alive[TI] = false;
@@ -285,13 +284,13 @@ SimplifiedSystem simplifyCore(size_t NS, size_t NB, size_t NumCons,
   for (uint32_t V = 0; V != NS; ++V) {
     uint32_t Root = Find(V);
     if (RepId[Root] == None)
-      RepId[Root] = Res.newState(Dom[Root]);
+      RepId[Root] = Res.newState(Dom.get(Root));
     Out.StateRep[V] = RepId[Root];
   }
 
   // Boolean ids survive unchanged; forced values become singleton
   // initial domains.
-  Res.BoolDom = BD;
+  Res.BoolDom = std::move(BD);
 
   // Phase 4: emit the surviving triples, deduplicating identical ones
   // with a flat open-addressing table (keys are nonzero: at fixpoint no
@@ -382,11 +381,11 @@ SimplifiedSystem solver::simplifyShardRange(const ConstraintSystem &Sys,
     NB += Sys.shardBools(K).size();
     NC += Sys.shardConstraints(K).size();
   }
-  std::vector<uint8_t> Dom(NS);
-  size_t I = 0;
+  support::StateDomains Dom;
+  Dom.reserve(NS);
   for (uint32_t K = KBegin; K != KEnd; ++K)
     for (uint32_t S : Sys.shardStates(K))
-      Dom[I++] = Sys.StateDom[S];
+      Dom.push_back(Sys.StateDom.get(S));
   return simplifyCore(
       NS, NB, NC, std::move(Dom), [&](auto &&Visit) {
         uint32_t SOff = 0, BOff = 0;

@@ -2,6 +2,7 @@
 
 #include "solver/Components.h"
 #include "support/Metrics.h"
+#include "support/PackedDomains.h"
 #include "support/ThreadPool.h"
 
 #include "support/CliParse.h"
@@ -18,12 +19,59 @@ using namespace afl::constraints;
 
 namespace {
 
-class SolverImpl {
+/// Byte-per-lane stand-in for support::PackedArray with the same lane
+/// API: the historical domain representation, kept as the solver's
+/// differential oracle and bench baseline
+/// (SolveOptions::PackedDomains = false, `aflc --no-packed-domains`).
+struct ByteLanes {
+  uint8_t get(size_t I) const { return V[I]; }
+  void set(size_t I, uint8_t Val) { V[I] = Val; }
+  size_t size() const { return V.size(); }
+  void assign(size_t N, uint8_t Val) { V.assign(N, Val); }
+  bool hasZeroEntry() const {
+    for (uint8_t D : V)
+      if (D == 0)
+        return true;
+    return false;
+  }
+  std::vector<uint8_t> V;
+};
+
+template <unsigned Bits>
+void initLanes(const support::PackedArray<Bits> &Src,
+               support::PackedArray<Bits> &Dst) {
+  Dst = Src;
+}
+template <unsigned Bits>
+void initLanes(const support::PackedArray<Bits> &Src, ByteLanes &Dst) {
+  Dst.V = Src.unpack();
+}
+template <unsigned Bits>
+void exportLanes(support::PackedArray<Bits> &&Src,
+                 support::PackedArray<Bits> &Dst) {
+  Dst = std::move(Src);
+}
+template <unsigned Bits>
+void exportLanes(ByteLanes &&Src, support::PackedArray<Bits> &Dst) {
+  Dst = support::PackedArray<Bits>::pack(Src.V);
+}
+
+/// The propagation/choice/backtrack core, parameterized over the domain
+/// and flag array representations: bit-packed (the production mode —
+/// 3-bit state / 2-bit boolean / 1-bit flag lanes, word-at-a-time
+/// construction and copies) or byte lanes (the oracle). The algorithm is
+/// representation-blind: both instantiations execute the identical
+/// sequence of domain reads and writes, which is why their solutions are
+/// bit-identical (tests/SolverDifferentialTest.cpp).
+template <typename SDomT, typename BDomT, typename FlagT> class SolverImpl {
 public:
-  explicit SolverImpl(const ConstraintSystem &Sys)
-      : Sys(Sys), SD(Sys.StateDom), BD(Sys.BoolDom),
-        InQueue(Sys.Cons.size(), false), InAllocCand(Sys.Cons.size(), false),
-        InDeallocCand(Sys.Cons.size(), false) {}
+  explicit SolverImpl(const ConstraintSystem &Sys) : Sys(Sys) {
+    initLanes(Sys.StateDom, SD);
+    initLanes(Sys.BoolDom, BD);
+    InQueue.assign(Sys.Cons.size(), 0);
+    InAllocCand.assign(Sys.Cons.size(), 0);
+    InDeallocCand.assign(Sys.Cons.size(), 0);
+  }
 
   SolveResult run();
 
@@ -45,25 +93,25 @@ private:
   /// (skipped on rollback, which restores domains without needing to
   /// re-propagate) and refresh the border-candidate stacks — any domain
   /// change can create new candidates among the constraints mentioning
-  /// the variable. The in-stack bitmaps keep each constraint queued at
+  /// the variable. The in-stack flags keep each constraint queued at
   /// most once per structure — without them, propagation-heavy programs
   /// push the same index on every domain change (quadratic growth).
   void onChange(bool IsBool, uint32_t Id, bool Enqueue) {
     const auto Occ = IsBool ? Sys.boolOcc(Id) : Sys.stateOcc(Id);
     for (uint32_t CI : Occ) {
-      if (Enqueue && !InQueue[CI]) {
-        InQueue[CI] = true;
+      if (Enqueue && !InQueue.get(CI)) {
+        InQueue.set(CI, 1);
         Queue.push_back(CI);
       }
       const Constraint &C = Sys.Cons[CI];
       if (C.K == Constraint::Kind::AllocTriple) {
-        if (!InAllocCand[CI]) {
-          InAllocCand[CI] = true;
+        if (!InAllocCand.get(CI)) {
+          InAllocCand.set(CI, 1);
           AllocCand.push_back(CI);
         }
       } else if (C.K == Constraint::Kind::DeallocTriple) {
-        if (!InDeallocCand[CI]) {
-          InDeallocCand[CI] = true;
+        if (!InDeallocCand.get(CI)) {
+          InDeallocCand.set(CI, 1);
           DeallocCand.push_back(CI);
         }
       }
@@ -73,62 +121,67 @@ private:
   }
 
   bool setState(StateVarId S, uint8_t Mask) {
-    uint8_t New = SD[S] & Mask;
-    if (New == SD[S])
+    uint8_t Old = SD.get(S);
+    uint8_t New = Old & Mask;
+    if (New == Old)
       return true;
     if (New == 0) {
       Conflict = true;
       return false;
     }
-    Trail.push_back({false, S, SD[S]});
-    SD[S] = New;
+    Trail.push_back({false, S, Old});
+    SD.set(S, New);
     onChange(false, S, true);
     return true;
   }
 
   bool setBool(BoolVarId B, uint8_t Mask) {
-    uint8_t New = BD[B] & Mask;
-    if (New == BD[B])
+    uint8_t Old = BD.get(B);
+    uint8_t New = Old & Mask;
+    if (New == Old)
       return true;
     if (New == 0) {
       Conflict = true;
       return false;
     }
-    Trail.push_back({true, B, BD[B]});
-    BD[B] = New;
+    Trail.push_back({true, B, Old});
+    BD.set(B, New);
     onChange(true, B, true);
     return true;
   }
 
   /// Propagates one triple with pre-state \p S1, post-state \p S2, boolean
   /// \p B; \p From/\p To are the transition states (U→A for allocation,
-  /// A→D for deallocation).
+  /// A→D for deallocation). Note the sequencing in the ¬b arm: the
+  /// second setState reads the domain the first one just narrowed.
   bool propagateTriple(StateVarId S1, BoolVarId B, StateVarId S2,
                        uint8_t From, uint8_t To) {
-    if (BD[B] == BTrue)
+    uint8_t BV = BD.get(B);
+    if (BV == BTrue)
       return setState(S1, From) && setState(S2, To);
-    if (BD[B] == BFalse)
-      return setState(S1, SD[S2]) && setState(S2, SD[S1]);
+    if (BV == BFalse)
+      return setState(S1, SD.get(S2)) && setState(S2, SD.get(S1));
     // Boolean undetermined.
-    if (!(SD[S1] & From) || !(SD[S2] & To)) {
+    uint8_t D1 = SD.get(S1), D2 = SD.get(S2);
+    if (!(D1 & From) || !(D2 & To)) {
       if (!setBool(B, BFalse))
         return false;
-      return setState(S1, SD[S2]) && setState(S2, SD[S1]);
+      return setState(S1, SD.get(S2)) && setState(S2, SD.get(S1));
     }
-    if ((SD[S1] & SD[S2]) == 0) {
+    if ((D1 & D2) == 0) {
       if (!setBool(B, BTrue))
         return false;
       return setState(S1, From) && setState(S2, To);
     }
     // Both options open: prune to the union of the two scenarios.
-    return setState(S1, static_cast<uint8_t>(SD[S2] | From)) &&
-           setState(S2, static_cast<uint8_t>(SD[S1] | To));
+    return setState(S1, static_cast<uint8_t>(D2 | From)) &&
+           setState(S2, static_cast<uint8_t>(SD.get(S1) | To));
   }
 
   bool propagateOne(const Constraint &C) {
     switch (C.K) {
     case Constraint::Kind::Eq:
-      return setState(C.S1, SD[C.S2]) && setState(C.S2, SD[C.S1]);
+      return setState(C.S1, SD.get(C.S2)) && setState(C.S2, SD.get(C.S1));
     case Constraint::Kind::AllocTriple:
       return propagateTriple(C.S1, C.B, C.S2, StU, StA);
     case Constraint::Kind::DeallocTriple:
@@ -140,12 +193,12 @@ private:
   bool propagate() {
     while (QueueHead != Queue.size()) {
       uint32_t CI = Queue[QueueHead++];
-      InQueue[CI] = false;
+      InQueue.set(CI, 0);
       ++Stats.Propagations;
       if (!propagateOne(Sys.Cons[CI])) {
         // Drain the queue; state is rolled back by the caller.
         for (size_t I = QueueHead; I != Queue.size(); ++I)
-          InQueue[Queue[I]] = false;
+          InQueue.set(Queue[I], 0);
         Queue.clear();
         QueueHead = 0;
         return false;
@@ -160,9 +213,9 @@ private:
     while (Trail.size() > TrailSize) {
       const TrailEntry &E = Trail.back();
       if (E.IsBool)
-        BD[E.Id] = E.Old;
+        BD.set(E.Id, E.Old);
       else
-        SD[E.Id] = E.Old;
+        SD.set(E.Id, E.Old);
       // Reverting re-creates whatever candidacy existed before.
       onChange(E.IsBool, E.Id, false);
       Trail.pop_back();
@@ -171,12 +224,12 @@ private:
   }
 
   bool isAllocCandidate(const Constraint &C) const {
-    return C.K == Constraint::Kind::AllocTriple && BD[C.B] == BAny &&
-           SD[C.S2] == StA && (SD[C.S1] & StU) && SD[C.S1] != StU;
+    return C.K == Constraint::Kind::AllocTriple && BD.get(C.B) == BAny &&
+           SD.get(C.S2) == StA && (SD.get(C.S1) & StU) && SD.get(C.S1) != StU;
   }
   bool isDeallocCandidate(const Constraint &C) const {
-    return C.K == Constraint::Kind::DeallocTriple && BD[C.B] == BAny &&
-           SD[C.S1] == StA && (SD[C.S2] & StD) && SD[C.S2] != StD;
+    return C.K == Constraint::Kind::DeallocTriple && BD.get(C.B) == BAny &&
+           SD.get(C.S1) == StA && (SD.get(C.S2) & StD) && SD.get(C.S2) != StD;
   }
 
   /// Finds the next choice per the paper's preference: a border allocation
@@ -190,10 +243,10 @@ private:
       for (uint32_t CI = 0; CI != Sys.Cons.size(); ++CI) {
         const Constraint &C = Sys.Cons[CI];
         if (C.K == Constraint::Kind::AllocTriple) {
-          InAllocCand[CI] = true;
+          InAllocCand.set(CI, 1);
           AllocCand.push_back(CI);
         } else if (C.K == Constraint::Kind::DeallocTriple) {
-          InDeallocCand[CI] = true;
+          InDeallocCand.set(CI, 1);
           DeallocCand.push_back(CI);
         }
       }
@@ -201,7 +254,7 @@ private:
     while (!AllocCand.empty()) {
       uint32_t CI = AllocCand.back();
       AllocCand.pop_back();
-      InAllocCand[CI] = false;
+      InAllocCand.set(CI, 0);
       if (isAllocCandidate(Sys.Cons[CI])) {
         // The candidate is popped, not peeked: if the decision is later
         // rolled back, noteChange re-adds it for the variables on the
@@ -214,14 +267,14 @@ private:
     while (!DeallocCand.empty()) {
       uint32_t CI = DeallocCand.back();
       DeallocCand.pop_back();
-      InDeallocCand[CI] = false;
+      InDeallocCand.set(CI, 0);
       if (isDeallocCandidate(Sys.Cons[CI])) {
         B = Sys.Cons[CI].B;
         Value = BTrue;
         return true;
       }
     }
-    while (BoolPointer < BD.size() && BD[BoolPointer] != BAny)
+    while (BoolPointer < BD.size() && BD.get(BoolPointer) != BAny)
       ++BoolPointer;
     if (BoolPointer < BD.size()) {
       B = static_cast<BoolVarId>(BoolPointer);
@@ -232,12 +285,15 @@ private:
   }
 
   const ConstraintSystem &Sys;
-  std::vector<uint8_t> SD, BD;
-  // Byte flags, not vector<bool>: these are the hottest bits in the
-  // solve and the proxy-reference bit twiddling costs measurably more
-  // than the 3x footprint saves.
-  std::vector<uint8_t> InQueue;
-  std::vector<uint8_t> InAllocCand, InDeallocCand;
+  SDomT SD;
+  BDomT BD;
+  // In-structure membership flags. The packed mode keeps these at one
+  // bit per constraint (the memsets in the constructor are the point:
+  // they run once per solved residual, and shard grouping constructs
+  // thousands of solvers per batch); the byte mode keeps the historical
+  // byte flags.
+  FlagT InQueue;
+  FlagT InAllocCand, InDeallocCand;
   /// Index-cursor worklist: pushes append, pops advance QueueHead; the
   /// storage is reclaimed whenever the queue drains.
   std::vector<uint32_t> Queue;
@@ -251,26 +307,19 @@ private:
   SolveResult Stats;
 };
 
-SolveResult SolverImpl::run() {
+template <typename SDomT, typename BDomT, typename FlagT>
+SolveResult SolverImpl<SDomT, BDomT, FlagT>::run() {
   // An empty initial domain is a conflict even when the variable occurs
   // in no constraint — propagation would never visit it, and a
   // completion extracted from such a "solution" would be unsound.
-  for (uint8_t D : SD) {
-    if (D == 0) {
-      Stats.Sat = false;
-      return Stats;
-    }
-  }
-  for (uint8_t D : BD) {
-    if (D == 0) {
-      Stats.Sat = false;
-      return Stats;
-    }
+  if (SD.hasZeroEntry() || BD.hasZeroEntry()) {
+    Stats.Sat = false;
+    return Stats;
   }
 
   // Initial propagation: seed with every constraint.
   for (uint32_t CI = 0; CI != Sys.Cons.size(); ++CI) {
-    InQueue[CI] = true;
+    InQueue.set(CI, 1);
     Queue.push_back(CI);
   }
   if (!propagate()) {
@@ -283,8 +332,8 @@ SolveResult SolverImpl::run() {
     uint8_t Value = 0;
     if (!findChoice(B, Value)) {
       Stats.Sat = true;
-      Stats.StateDom = std::move(SD);
-      Stats.BoolDom = std::move(BD);
+      exportLanes(std::move(SD), Stats.StateDom);
+      exportLanes(std::move(BD), Stats.BoolDom);
       return Stats;
     }
     ++Stats.Choices;
@@ -312,11 +361,22 @@ SolveResult SolverImpl::run() {
   }
 }
 
+/// Runs one core solve over \p Sys in the representation \p Packed
+/// selects. Both modes return packed domains in the SolveResult.
+SolveResult runCore(const ConstraintSystem &Sys, bool Packed) {
+  if (Packed)
+    return SolverImpl<support::StateDomains, support::BoolDomains,
+                      support::PackedBits>(Sys)
+        .run();
+  return SolverImpl<ByteLanes, ByteLanes, ByteLanes>(Sys).run();
+}
+
 /// Solves the components of \p Split (each written to its slot of
 /// \p Results) with \p Jobs workers. Returns false as soon as any
 /// component is unsatisfiable (remaining components are skipped).
 bool solveComponents(const ComponentSplit &Split,
-                     std::vector<SolveResult> &Results, unsigned Jobs) {
+                     std::vector<SolveResult> &Results, unsigned Jobs,
+                     bool Packed) {
   Results.resize(Split.Comps.size());
   std::atomic<bool> Failed{false};
 
@@ -328,8 +388,7 @@ bool solveComponents(const ComponentSplit &Split,
       Split.Comps.size(), Jobs <= 1 ? 1 : Jobs, [&](size_t I) {
         if (Failed.load(std::memory_order_relaxed))
           return;
-        SolverImpl S(Split.Comps[I].Sys);
-        Results[I] = S.run();
+        Results[I] = runCore(Split.Comps[I].Sys, Packed);
         if (!Results[I].Sat)
           Failed.store(true, std::memory_order_relaxed);
       });
@@ -351,12 +410,10 @@ SolveResult solveSharded(const ConstraintSystem &Sys,
   // An empty *initial* domain is a conflict even for a variable in no
   // constraint — it never reaches a shard, so check globally up front
   // (the same scan simplify() opens with on the monolithic path).
-  for (uint8_t D : Sys.StateDom) {
-    if (D == 0) {
-      R.Sat = false;
-      R.Seconds = Watch.seconds();
-      return R;
-    }
+  if (Sys.StateDom.hasZeroEntry()) {
+    R.Sat = false;
+    R.Seconds = Watch.seconds();
+    return R;
   }
 
   Stopwatch Phase;
@@ -402,13 +459,22 @@ SolveResult solveSharded(const ConstraintSystem &Sys,
   const size_t NumGroups = GroupStart.size() - 1;
 
   // Unsharded variables keep their initial domains (they are their own
-  // representatives); every sharded slot is overwritten below.
+  // representatives); every sharded slot is overwritten below. Word
+  // copies: both sides are packed.
   R.StateDom = Sys.StateDom;
   R.BoolDom = Sys.BoolDom;
 
   struct GroupWork {
     SimplifyStats Stats;
     uint64_t Propagations = 0, Choices = 0, Backtracks = 0;
+    /// The group's solved residual domains and its local->rep mapping,
+    /// kept for the post-join scatter. With byte domains workers could
+    /// scatter into the shared result directly (each wrote distinct
+    /// bytes); packed lanes from different shards share words, so the
+    /// scatter must not run concurrently — it is replayed sequentially
+    /// once all groups finish, which also keeps it deterministic.
+    SolveResult Solved;
+    std::vector<StateVarId> StateRep;
   };
   std::vector<GroupWork> Work(NumGroups);
   std::atomic<bool> Failed{false};
@@ -451,8 +517,7 @@ SolveResult solveSharded(const ConstraintSystem &Sys,
         Work[G].Stats.LargestComponent =
             std::max<size_t>(Work[G].Stats.LargestComponent, N);
     }
-    SolverImpl S(Simp.Residual);
-    SolveResult CR = S.run();
+    SolveResult CR = runCore(Simp.Residual, Options.PackedDomains);
     Work[G].Propagations = CR.Propagations;
     Work[G].Choices = CR.Choices;
     Work[G].Backtracks = CR.Backtracks;
@@ -460,19 +525,8 @@ SolveResult solveSharded(const ConstraintSystem &Sys,
       Failed.store(true, std::memory_order_relaxed);
       return;
     }
-    // StateRep and CR's domains index group-local variables; the shard
-    // tables give the local -> global mapping, member by member.
-    uint32_t SOff = 0, BOff = 0;
-    for (uint32_t K = KBegin; K != KEnd; ++K) {
-      const auto States = Sys.shardStates(K);
-      for (size_t L = 0; L != States.size(); ++L)
-        R.StateDom[States.begin()[L]] = CR.StateDom[Simp.StateRep[SOff + L]];
-      SOff += static_cast<uint32_t>(States.size());
-      const auto Bools = Sys.shardBools(K);
-      for (size_t L = 0; L != Bools.size(); ++L)
-        R.BoolDom[Bools.begin()[L]] = CR.BoolDom[BOff + L];
-      BOff += static_cast<uint32_t>(Bools.size());
-    }
+    Work[G].Solved = std::move(CR);
+    Work[G].StateRep = std::move(Simp.StateRep);
   };
 
   if (Jobs <= 1) {
@@ -506,11 +560,28 @@ SolveResult solveSharded(const ConstraintSystem &Sys,
     return R;
   }
 
+  // Scatter every group's solved domains back over the global lanes.
+  // StateRep and the solved arrays index group-local variables; the
+  // shard tables give the local -> global mapping, member by member.
+  for (size_t G = 0; G != NumGroups; ++G) {
+    const GroupWork &W = Work[G];
+    uint32_t SOff = 0, BOff = 0;
+    for (uint32_t K = GroupStart[G]; K != GroupStart[G + 1]; ++K) {
+      const auto States = Sys.shardStates(K);
+      for (size_t L = 0; L != States.size(); ++L)
+        R.StateDom.set(States.begin()[L],
+                       W.Solved.StateDom.get(W.StateRep[SOff + L]));
+      SOff += static_cast<uint32_t>(States.size());
+      const auto Bools = Sys.shardBools(K);
+      for (size_t L = 0; L != Bools.size(); ++L)
+        R.BoolDom.set(Bools.begin()[L], W.Solved.BoolDom.get(BOff + L));
+      BOff += static_cast<uint32_t>(Bools.size());
+    }
+  }
+
   // Booleans in no shard (never in a triple) default to false — no
   // operation — exactly as the raw solver's final sweep leaves them.
-  for (uint8_t &B : R.BoolDom)
-    if (B == BAny)
-      B = BFalse;
+  R.BoolDom.defaultAnyToFalse();
   R.Sat = true;
   R.Seconds = Watch.seconds();
   return R;
@@ -536,8 +607,7 @@ SolveResult solver::solve(const ConstraintSystem &Sys,
   Stopwatch Watch;
 
   if (!Options.Simplify) {
-    SolverImpl S(Sys);
-    SolveResult R = S.run();
+    SolveResult R = runCore(Sys, Options.PackedDomains);
     R.Seconds = Watch.seconds();
     return R;
   }
@@ -562,7 +632,8 @@ SolveResult solver::solve(const ConstraintSystem &Sys,
   if (Simp.Residual.numConstraints() < Options.ParallelMinConstraints)
     Jobs = 1;
 
-  std::vector<uint8_t> RepDom, BoolOut;
+  support::StateDomains RepDom;
+  support::BoolDomains BoolOut;
   if (Jobs <= 1) {
     // Sequential: solve the residual monolithically. Materializing the
     // per-component systems only pays off when they run on separate
@@ -575,8 +646,7 @@ SolveResult solver::solve(const ConstraintSystem &Sys,
     R.Simplify.ThreadsUsed = 1;
     R.Simplify.ComponentSeconds = Phase.seconds();
 
-    SolverImpl S(Simp.Residual);
-    SolveResult Mono = S.run();
+    SolveResult Mono = runCore(Simp.Residual, Options.PackedDomains);
     R.Propagations = Mono.Propagations;
     R.Choices = Mono.Choices;
     R.Backtracks = Mono.Backtracks;
@@ -598,7 +668,7 @@ SolveResult solver::solve(const ConstraintSystem &Sys,
         std::min<size_t>(Jobs, std::max<size_t>(Split.Comps.size(), 1));
 
     std::vector<SolveResult> Comp;
-    bool Sat = solveComponents(Split, Comp, Jobs);
+    bool Sat = solveComponents(Split, Comp, Jobs, Options.PackedDomains);
     for (const SolveResult &C : Comp) {
       R.Propagations += C.Propagations;
       R.Choices += C.Choices;
@@ -619,20 +689,19 @@ SolveResult solver::solve(const ConstraintSystem &Sys,
       const Component &CS = Split.Comps[I];
       const SolveResult &CR = Comp[I];
       for (size_t L = 0; L != CS.StateGlobal.size(); ++L)
-        RepDom[CS.StateGlobal[L]] = CR.StateDom[L];
+        RepDom.set(CS.StateGlobal[L], CR.StateDom.get(L));
       for (size_t L = 0; L != CS.BoolGlobal.size(); ++L)
-        BoolOut[CS.BoolGlobal[L]] = CR.BoolDom[L];
+        BoolOut.set(CS.BoolGlobal[L], CR.BoolDom.get(L));
     }
   }
 
   // Reconstruction: map the representatives' solved domains back over
   // the original variable space.
-  R.StateDom.resize(Sys.numStateVars());
-  for (size_t V = 0; V != R.StateDom.size(); ++V)
-    R.StateDom[V] = RepDom[Simp.StateRep[V]];
-  for (uint8_t &B : BoolOut)
-    if (B == BAny)
-      B = BFalse;
+  R.StateDom.clear();
+  R.StateDom.reserve(Sys.numStateVars());
+  for (size_t V = 0; V != Sys.numStateVars(); ++V)
+    R.StateDom.push_back(RepDom.get(Simp.StateRep[V]));
+  BoolOut.defaultAnyToFalse();
   R.BoolDom = std::move(BoolOut);
   R.Sat = true;
   R.Simplify.ReconstructSeconds = Phase.seconds();
@@ -651,12 +720,10 @@ SolveResult solver::solveCached(const ConstraintSystem &Sys,
 
   // Same up-front global check as solveSharded: an empty initial domain
   // is a conflict even for a variable in no constraint.
-  for (uint8_t D : Sys.StateDom) {
-    if (D == 0) {
-      R.Sat = false;
-      R.Seconds = Watch.seconds();
-      return R;
-    }
+  if (Sys.StateDom.hasZeroEntry()) {
+    R.Sat = false;
+    R.Seconds = Watch.seconds();
+    return R;
   }
 
   Stopwatch Phase;
@@ -695,16 +762,16 @@ SolveResult solver::solveCached(const ConstraintSystem &Sys,
     }
     const auto States = Sys.shardStates(K);
     for (uint32_t V : States)
-      Key.push_back(static_cast<char>(Sys.StateDom[V]));
+      Key.push_back(static_cast<char>(Sys.StateDom.get(V)));
     const auto Bools = Sys.shardBools(K);
     for (uint32_t V : Bools)
-      Key.push_back(static_cast<char>(Sys.BoolDom[V]));
+      Key.push_back(static_cast<char>(Sys.BoolDom.get(V)));
 
     auto Scatter = [&](const ShardSolutionCache::Entry &E) {
       for (size_t L = 0; L != States.size(); ++L)
-        R.StateDom[States.begin()[L]] = E.StateDom[L];
+        R.StateDom.set(States.begin()[L], E.StateDom[L]);
       for (size_t L = 0; L != Bools.size(); ++L)
-        R.BoolDom[Bools.begin()[L]] = E.BoolDom[L];
+        R.BoolDom.set(Bools.begin()[L], E.BoolDom[L]);
     };
 
     auto It = Cache.Entries.find(Key);
@@ -731,8 +798,7 @@ SolveResult solver::solveCached(const ConstraintSystem &Sys,
       Failed = true;
       break;
     }
-    SolverImpl S(Simp.Residual);
-    SolveResult CR = S.run();
+    SolveResult CR = runCore(Simp.Residual, Options.PackedDomains);
     R.Propagations += CR.Propagations;
     R.Choices += CR.Choices;
     R.Backtracks += CR.Backtracks;
@@ -744,10 +810,10 @@ SolveResult solver::solveCached(const ConstraintSystem &Sys,
     E.Sat = true;
     E.StateDom.resize(States.size());
     for (size_t L = 0; L != States.size(); ++L)
-      E.StateDom[L] = CR.StateDom[Simp.StateRep[L]];
+      E.StateDom[L] = CR.StateDom.get(Simp.StateRep[L]);
     E.BoolDom.resize(Bools.size());
     for (size_t L = 0; L != Bools.size(); ++L)
-      E.BoolDom[L] = CR.BoolDom[L];
+      E.BoolDom[L] = CR.BoolDom.get(L);
     Scatter(E);
     Cache.Entries.emplace(Key, std::move(E));
   }
@@ -767,9 +833,7 @@ SolveResult solver::solveCached(const ConstraintSystem &Sys,
   }
 
   // Booleans in no shard default to false, matching solveSharded.
-  for (uint8_t &B : R.BoolDom)
-    if (B == BAny)
-      B = BFalse;
+  R.BoolDom.defaultAnyToFalse();
   R.Sat = true;
   R.Seconds = Watch.seconds();
   return R;

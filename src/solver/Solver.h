@@ -71,14 +71,24 @@ struct SolveOptions {
   /// monolithic path gates on the post-simplification residual size, the
   /// sharded path on the original size (it has no global residual).
   size_t ParallelMinConstraints = 2048;
+  /// Run the core propagation loop over the bit-packed domain arrays
+  /// (support/PackedDomains.h). When false, the solver unpacks the
+  /// domains into the historical byte-per-variable arrays and runs the
+  /// identical algorithm over them — the differential oracle and bench
+  /// baseline (`aflc --no-packed-domains`). Both produce bit-identical
+  /// solutions.
+  bool PackedDomains = true;
 };
 
 struct SolveResult {
   bool Sat = false;
   /// Final domains (singletons for booleans when Sat), indexed by the
-  /// *original* variable ids regardless of preprocessing.
-  std::vector<uint8_t> StateDom;
-  std::vector<uint8_t> BoolDom;
+  /// *original* variable ids regardless of preprocessing. Bit-packed
+  /// like the input system's domains (read with get()/operator[]); the
+  /// byte-domain solver path packs its result on the way out, so the
+  /// representation here is mode-independent.
+  support::StateDomains StateDom;
+  support::BoolDomains BoolDom;
   /// Statistics.
   uint64_t Propagations = 0;
   uint64_t Choices = 0;
@@ -89,7 +99,7 @@ struct SolveResult {
   double Seconds = 0;
 
   bool boolValue(constraints::BoolVarId B) const {
-    return BoolDom[B] == constraints::BTrue;
+    return BoolDom.get(B) == constraints::BTrue;
   }
 };
 

@@ -6,8 +6,24 @@ using namespace afl;
 
 void Arena::growSlab(size_t MinSize) {
   size_t SlabSize = std::max(DefaultSlabSize, MinSize);
-  Slabs.push_back(std::make_unique<char[]>(SlabSize));
-  Cur = Slabs.back().get();
+  Slabs.push_back({std::make_unique<char[]>(SlabSize), SlabSize});
+  Cur = Slabs.back().Mem.get();
   End = Cur + SlabSize;
   BytesReserved += SlabSize;
+}
+
+void Arena::reset() {
+  if (!Slabs.empty()) {
+    auto Largest = std::max_element(
+        Slabs.begin(), Slabs.end(),
+        [](const Slab &A, const Slab &B) { return A.Size < B.Size; });
+    Slab Kept = std::move(*Largest);
+    Slabs.clear();
+    Cur = Kept.Mem.get();
+    End = Cur + Kept.Size;
+    BytesReserved = Kept.Size;
+    Slabs.push_back(std::move(Kept));
+  }
+  NumAllocations = 0;
+  BytesAllocated = 0;
 }

@@ -9,6 +9,11 @@
 /// run — arena clients must only store trivially-destructible state or
 /// state whose cleanup is managed elsewhere.
 ///
+/// Arenas are movable so they can be checked in and out of an \c ArenaPool:
+/// \c reset() rewinds the bump pointer while retaining the largest slab, so
+/// a recycled arena serves its next tenant without touching the system
+/// allocator for the common case.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AFL_SUPPORT_ARENA_H
@@ -30,6 +35,26 @@ public:
   Arena(const Arena &) = delete;
   Arena &operator=(const Arena &) = delete;
 
+  Arena(Arena &&Other) noexcept
+      : Slabs(std::move(Other.Slabs)), Cur(Other.Cur), End(Other.End),
+        NumAllocations(Other.NumAllocations),
+        BytesAllocated(Other.BytesAllocated),
+        BytesReserved(Other.BytesReserved) {
+    Other.forget();
+  }
+  Arena &operator=(Arena &&Other) noexcept {
+    if (this != &Other) {
+      Slabs = std::move(Other.Slabs);
+      Cur = Other.Cur;
+      End = Other.End;
+      NumAllocations = Other.NumAllocations;
+      BytesAllocated = Other.BytesAllocated;
+      BytesReserved = Other.BytesReserved;
+      Other.forget();
+    }
+    return *this;
+  }
+
   /// Allocates \p Size bytes aligned to \p Align.
   void *allocate(size_t Size, size_t Align) {
     assert(Align != 0 && (Align & (Align - 1)) == 0 &&
@@ -43,6 +68,7 @@ public:
     }
     Cur = reinterpret_cast<char *>(Aligned + Size);
     ++NumAllocations;
+    BytesAllocated += Size;
     return reinterpret_cast<void *>(Aligned);
   }
 
@@ -52,21 +78,45 @@ public:
     return new (Mem) T(std::forward<Args>(ArgValues)...);
   }
 
+  /// Rewinds the arena to empty, retaining only its largest slab so the
+  /// next tenant reuses the memory. Previously handed-out pointers become
+  /// invalid; the retained slab's bytes are left as-is (not zeroed).
+  void reset();
+
   /// Number of allocation requests served (for diagnostics/tests).
   size_t numAllocations() const { return NumAllocations; }
+
+  /// Total bytes handed out to callers (excluding alignment padding).
+  size_t bytesAllocated() const { return BytesAllocated; }
 
   /// Total bytes reserved across all slabs.
   size_t bytesReserved() const { return BytesReserved; }
 
+  /// Number of slabs currently backing the arena.
+  size_t numSlabs() const { return Slabs.size(); }
+
 private:
+  struct Slab {
+    std::unique_ptr<char[]> Mem;
+    size_t Size = 0;
+  };
+
   void growSlab(size_t MinSize);
+
+  /// Leaves the arena in a valid empty state after its guts were moved out.
+  void forget() {
+    Slabs.clear();
+    Cur = End = nullptr;
+    NumAllocations = BytesAllocated = BytesReserved = 0;
+  }
 
   static constexpr size_t DefaultSlabSize = 64 * 1024;
 
-  std::vector<std::unique_ptr<char[]>> Slabs;
+  std::vector<Slab> Slabs;
   char *Cur = nullptr;
   char *End = nullptr;
   size_t NumAllocations = 0;
+  size_t BytesAllocated = 0;
   size_t BytesReserved = 0;
 };
 

@@ -1,13 +1,21 @@
 #include "support/StringInterner.h"
 
+#include <cstring>
+
 using namespace afl;
 
 Symbol StringInterner::intern(std::string_view Text) {
   auto It = Index.find(Text);
   if (It != Index.end())
     return Symbol(It->second);
-  Strings.emplace_back(Text);
+  std::string_view Stored;
+  if (!Text.empty()) {
+    char *Bytes = static_cast<char *>(Mem->allocate(Text.size(), 1));
+    std::memcpy(Bytes, Text.data(), Text.size());
+    Stored = std::string_view(Bytes, Text.size());
+  }
+  Strings.push_back(Stored);
   uint32_t Id = static_cast<uint32_t>(Strings.size() - 1);
-  Index.emplace(std::string_view(Strings.back()), Id);
+  Index.emplace(Stored, Id);
   return Symbol(Id);
 }

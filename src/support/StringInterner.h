@@ -4,17 +4,23 @@
 /// Uniqued identifier storage. Identifiers are interned once and referred to
 /// by stable \c Symbol handles; comparison is O(1).
 ///
+/// Interned bytes live in an \c Arena rather than per-string heap nodes:
+/// an interner can share its owning context's pooled arena so a batch item
+/// or server request releases identifiers together with its AST nodes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AFL_SUPPORT_STRINGINTERNER_H
 #define AFL_SUPPORT_STRINGINTERNER_H
 
+#include "support/Arena.h"
+
 #include <cassert>
 #include <cstdint>
-#include <deque>
-#include <string>
+#include <memory>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace afl {
 
@@ -40,14 +46,26 @@ private:
 /// Owns interned strings and hands out \c Symbol handles.
 class StringInterner {
 public:
-  StringInterner() { Strings.emplace_back(); /* slot 0 = invalid */ }
+  /// Standalone interner backed by its own private arena.
+  StringInterner() : Own(std::make_unique<Arena>()), Mem(Own.get()) {
+    Strings.emplace_back(); // slot 0 = invalid
+  }
+
+  /// Interner storing its bytes in \p A, which must outlive the interner.
+  explicit StringInterner(Arena &A) : Mem(&A) {
+    Strings.emplace_back(); // slot 0 = invalid
+  }
+
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
 
   /// Interns \p Text, returning a stable symbol; repeated calls with equal
   /// text return equal symbols.
   Symbol intern(std::string_view Text);
 
-  /// Returns the text for \p S. \p S must be valid.
-  const std::string &text(Symbol S) const {
+  /// Returns the text for \p S. \p S must be valid. The view stays valid
+  /// for the interner's (and its arena's) lifetime.
+  std::string_view text(Symbol S) const {
     assert(S.isValid() && "querying invalid symbol");
     assert(S.id() < Strings.size() && "symbol from another interner?");
     return Strings[S.id()];
@@ -56,9 +74,13 @@ public:
   size_t size() const { return Strings.size() - 1; }
 
 private:
-  // Deque keeps element addresses stable, so the string_view keys in Index
-  // (which point into stored strings) remain valid as new strings arrive.
-  std::deque<std::string> Strings;
+  // Present only for the default constructor; shared-arena interners
+  // leave it null and point Mem at the caller's arena.
+  std::unique_ptr<Arena> Own;
+  Arena *Mem;
+  // Views point into arena slabs, which never move, so both the table and
+  // the Index keys stay valid as new strings arrive.
+  std::vector<std::string_view> Strings;
   std::unordered_map<std::string_view, uint32_t> Index;
 };
 

@@ -56,7 +56,8 @@ private:
     for (auto It = Env.rbegin(), End = Env.rend(); It != End; ++It)
       if (It->first == Name)
         return It->second;
-    Diags.error(E->loc(), "unbound variable '" + Ctx.text(Name) + "'");
+    Diags.error(E->loc(),
+                "unbound variable '" + std::string(Ctx.text(Name)) + "'");
     return table().freshVar(); // recover with a fresh type
   }
 

@@ -66,6 +66,29 @@ TEST(CliParse, RejectsWhitespaceAndBasePrefixes) {
   EXPECT_EQ(V, 7u);
 }
 
+TEST(CliParse, ToggleAcceptsExactlyZeroAndOne) {
+  // $AFL_ARENA_POOL: aflc rejects anything but "0"/"1" with a usage
+  // error instead of the library's lenient anything-but-0-is-on.
+  bool V = true;
+  EXPECT_TRUE(parseCliToggle("0", V));
+  EXPECT_FALSE(V);
+  EXPECT_TRUE(parseCliToggle("1", V));
+  EXPECT_TRUE(V);
+}
+
+TEST(CliParse, ToggleRejectsEverythingElse) {
+  bool V = true;
+  EXPECT_FALSE(parseCliToggle("", V));
+  EXPECT_FALSE(parseCliToggle("2", V));
+  EXPECT_FALSE(parseCliToggle("on", V));
+  EXPECT_FALSE(parseCliToggle("off", V));
+  EXPECT_FALSE(parseCliToggle("true", V));
+  EXPECT_FALSE(parseCliToggle("01", V));
+  EXPECT_FALSE(parseCliToggle(" 1", V));
+  EXPECT_FALSE(parseCliToggle("1 ", V));
+  EXPECT_TRUE(V) << "output must be untouched on failure";
+}
+
 TEST(CliParse, BackendNamesParseExactly) {
   interp::BackendKind B = interp::BackendKind::Tree;
   EXPECT_TRUE(interp::parseBackendName("vm", B));

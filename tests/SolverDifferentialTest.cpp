@@ -2,7 +2,9 @@
 // builtin corpus and a large random-program sweep, the simplified solve
 // (and the simplified + parallel per-component solve) must produce
 // bit-identical output — Sat, state domains and boolean domains — to
-// the raw §4.3 solver.
+// the raw §4.3 solver. Every mode is additionally checked against the
+// byte-per-variable domain representation (`--no-packed-domains`), the
+// oracle for the packed bitvector default.
 
 #include "ast/ASTContext.h"
 #include "closure/ClosureAnalysis.h"
@@ -57,6 +59,18 @@ void expectSolveModesAgree(const std::string &Source, const char *Label) {
   ParOpts.ParallelMinConstraints = 0; // parallelize regardless of size
   SolveResult Parallel = solve(Gen.Sys, ParOpts);
 
+  // Byte-domain oracle: the same three modes with the packed bitvector
+  // representation swapped out for byte-per-variable lanes.
+  SolveOptions ByteRawOpts = RawOpts;
+  ByteRawOpts.PackedDomains = false;
+  SolveResult ByteRaw = solve(Gen.Sys, ByteRawOpts);
+  SolveOptions ByteOpts;
+  ByteOpts.PackedDomains = false;
+  SolveResult ByteSimplified = solve(Gen.Sys, ByteOpts);
+  SolveOptions ByteParOpts = ParOpts;
+  ByteParOpts.PackedDomains = false;
+  SolveResult ByteParallel = solve(Gen.Sys, ByteParOpts);
+
   ASSERT_EQ(Raw.Sat, Simplified.Sat) << Label;
   ASSERT_EQ(Raw.Sat, Mono.Sat) << Label;
   ASSERT_EQ(Raw.Sat, Parallel.Sat) << Label;
@@ -72,6 +86,17 @@ void expectSolveModesAgree(const std::string &Source, const char *Label) {
   EXPECT_EQ(Mono.BoolDom, Simplified.BoolDom) << Label;
   EXPECT_EQ(Simplified.StateDom, Parallel.StateDom) << Label;
   EXPECT_EQ(Simplified.BoolDom, Parallel.BoolDom) << Label;
+
+  // Packed vs byte domains: bit-identical results in every mode.
+  ASSERT_EQ(ByteRaw.Sat, Raw.Sat) << Label;
+  EXPECT_EQ(ByteRaw.StateDom, Raw.StateDom) << Label;
+  EXPECT_EQ(ByteRaw.BoolDom, Raw.BoolDom) << Label;
+  ASSERT_EQ(ByteSimplified.Sat, Simplified.Sat) << Label;
+  EXPECT_EQ(ByteSimplified.StateDom, Simplified.StateDom) << Label;
+  EXPECT_EQ(ByteSimplified.BoolDom, Simplified.BoolDom) << Label;
+  ASSERT_EQ(ByteParallel.Sat, Parallel.Sat) << Label;
+  EXPECT_EQ(ByteParallel.StateDom, Parallel.StateDom) << Label;
+  EXPECT_EQ(ByteParallel.BoolDom, Parallel.BoolDom) << Label;
 
   // The preprocessing proof obligations: every Eq constraint collapsed,
   // never more residual than original constraints.

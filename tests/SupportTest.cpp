@@ -1,13 +1,19 @@
-// Unit tests for the support module: arena, interner, diagnostics.
+// Unit tests for the support module: arena, arena pool, packed domains,
+// interner, diagnostics.
 
 #include "support/Arena.h"
+#include "support/ArenaPool.h"
 #include "support/Diagnostics.h"
+#include "support/PackedDomains.h"
 #include "support/SourceLoc.h"
 #include "support/FlatSet.h"
 #include "support/SetInterner.h"
 #include "support/StringInterner.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 using namespace afl;
 
@@ -48,6 +54,189 @@ TEST(Arena, CreateConstructsObjects) {
   EXPECT_EQ(P->Y, 4);
 }
 
+TEST(Arena, BytesAllocatedCountsRequests) {
+  Arena A;
+  A.allocate(10, 1);
+  A.allocate(100, 8);
+  EXPECT_EQ(A.bytesAllocated(), 110u);
+  EXPECT_EQ(A.numAllocations(), 2u);
+}
+
+TEST(Arena, ResetRetainsLargestSlab) {
+  Arena A;
+  A.allocate(16, 8); // first slab: the 64 KiB default
+  void *Big = A.allocate(1 << 20, 8);
+  ASSERT_NE(Big, nullptr);
+  EXPECT_GE(A.numSlabs(), 2u);
+  size_t Largest = 1u << 20;
+
+  A.reset();
+  EXPECT_EQ(A.numSlabs(), 1u);
+  EXPECT_GE(A.bytesReserved(), Largest);
+  EXPECT_LT(A.bytesReserved(), 2 * Largest);
+  EXPECT_EQ(A.numAllocations(), 0u);
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+
+  // The retained slab serves the next tenant without growing.
+  size_t Reserved = A.bytesReserved();
+  void *P = A.allocate(Largest / 2, 8);
+  static_cast<char *>(P)[0] = 1; // touch under sanitizers
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+  EXPECT_EQ(A.numSlabs(), 1u);
+}
+
+TEST(Arena, ResetOfEmptyArenaIsHarmless) {
+  Arena A;
+  A.reset();
+  EXPECT_EQ(A.numSlabs(), 0u);
+  EXPECT_EQ(A.bytesReserved(), 0u);
+  void *P = A.allocate(8, 8);
+  EXPECT_NE(P, nullptr);
+}
+
+TEST(Arena, MoveTransfersStorage) {
+  Arena A;
+  void *P = A.allocate(64, 8);
+  std::memset(P, 0x5a, 64);
+  Arena B = std::move(A);
+  EXPECT_EQ(A.numSlabs(), 0u);
+  EXPECT_EQ(A.bytesReserved(), 0u);
+  EXPECT_EQ(B.numAllocations(), 1u);
+  EXPECT_EQ(static_cast<unsigned char *>(P)[63], 0x5au);
+  // The moved-from arena is reusable.
+  EXPECT_NE(A.allocate(8, 8), nullptr);
+
+  Arena C;
+  C.allocate(8, 8);
+  C = std::move(B);
+  EXPECT_EQ(C.numAllocations(), 1u);
+}
+
+TEST(ArenaPool, MissThenHitRoundtrip) {
+  ArenaPool P;
+  Arena A = P.acquire();
+  A.allocate(1 << 18, 8);
+  size_t Reserved = A.bytesReserved();
+  P.release(std::move(A));
+
+  ArenaPool::Stats S = P.stats();
+  EXPECT_EQ(S.Checkouts, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Returns, 1u);
+  EXPECT_EQ(S.Pooled, 1u);
+  EXPECT_GT(S.RetainedBytes, 0u);
+
+  Arena B = P.acquire();
+  EXPECT_EQ(P.stats().Hits, 1u);
+  // release() reset the arena but kept its largest slab for reuse.
+  EXPECT_EQ(B.numAllocations(), 0u);
+  EXPECT_GE(B.bytesReserved(), Reserved);
+}
+
+TEST(ArenaPool, AcquirePrefersLargestClass) {
+  ArenaPool P;
+  Arena Small = P.acquire();
+  Small.allocate(16, 8); // one default 64 KiB slab
+  Arena Big = P.acquire();
+  Big.allocate(1 << 20, 8);
+  P.release(std::move(Small));
+  P.release(std::move(Big));
+
+  Arena First = P.acquire();
+  EXPECT_GE(First.bytesReserved(), 1u << 20)
+      << "the pool must hand out its largest arena first";
+  Arena Second = P.acquire();
+  EXPECT_LT(Second.bytesReserved(), 1u << 20);
+}
+
+TEST(ArenaPool, CapDiscardsExcessReturns) {
+  ArenaPool P(1);
+  Arena A = P.acquire(), B = P.acquire();
+  A.allocate(16, 8);
+  B.allocate(16, 8);
+  P.release(std::move(A));
+  P.release(std::move(B));
+  ArenaPool::Stats S = P.stats();
+  EXPECT_EQ(S.Returns, 2u);
+  EXPECT_EQ(S.Discarded, 1u);
+  EXPECT_EQ(S.Pooled, 1u);
+}
+
+TEST(ArenaPool, ClearDropsRetainedArenas) {
+  ArenaPool P;
+  Arena A = P.acquire();
+  A.allocate(16, 8);
+  P.release(std::move(A));
+  EXPECT_EQ(P.stats().Pooled, 1u);
+  P.clear();
+  EXPECT_EQ(P.stats().Pooled, 0u);
+  EXPECT_EQ(P.stats().RetainedBytes, 0u);
+}
+
+TEST(ArenaPool, ConcurrentCheckoutUnderThreadPool) {
+  ArenaPool P;
+  ThreadPool Workers(4);
+  Workers.parallelFor(64, 0, [&P](size_t I) {
+    Arena A = P.acquire();
+    char *Bytes = static_cast<char *>(A.allocate(4096, 8));
+    std::memset(Bytes, static_cast<int>(I), 4096);
+    P.release(std::move(A));
+  });
+  ArenaPool::Stats S = P.stats();
+  EXPECT_EQ(S.Checkouts, 64u);
+  EXPECT_EQ(S.Hits + S.Misses, 64u);
+  EXPECT_EQ(S.Returns, 64u);
+  EXPECT_EQ(S.Pooled + S.Discarded, 64u - S.Hits);
+}
+
+TEST(PooledArena, ReturnsToGlobalPoolOnDestruction) {
+  bool WasEnabled = ArenaPool::globalEnabled();
+  ArenaPool::setGlobalEnabled(true);
+  ArenaPool::Stats Before = ArenaPool::global().stats();
+  {
+    PooledArena A;
+    A.allocate(128, 8);
+    EXPECT_EQ(ArenaPool::global().stats().Checkouts, Before.Checkouts + 1);
+  }
+  EXPECT_EQ(ArenaPool::global().stats().Returns, Before.Returns + 1);
+  ArenaPool::setGlobalEnabled(WasEnabled);
+}
+
+TEST(PooledArena, DisabledModeUsesPrivateArena) {
+  bool WasEnabled = ArenaPool::globalEnabled();
+  ArenaPool::setGlobalEnabled(false);
+  ArenaPool::Stats Before = ArenaPool::global().stats();
+  {
+    PooledArena A;
+    struct Point {
+      int X, Y;
+    };
+    Point *P = A.create<Point>();
+    P->X = 3;
+    EXPECT_EQ(P->X, 3);
+  }
+  ArenaPool::Stats After = ArenaPool::global().stats();
+  EXPECT_EQ(After.Checkouts, Before.Checkouts);
+  EXPECT_EQ(After.Returns, Before.Returns);
+  ArenaPool::setGlobalEnabled(WasEnabled);
+}
+
+TEST(PooledArena, MoveDoesNotDoubleReturn) {
+  bool WasEnabled = ArenaPool::globalEnabled();
+  ArenaPool::setGlobalEnabled(true);
+  ArenaPool::Stats Before = ArenaPool::global().stats();
+  {
+    PooledArena A;
+    A.allocate(16, 8);
+    PooledArena B = std::move(A);
+    PooledArena C;
+    C = std::move(B);
+  } // exactly one lease is live; exactly one return
+  EXPECT_EQ(ArenaPool::global().stats().Returns, Before.Returns + 2)
+      << "one return for the moved lease, one for C's displaced lease";
+  ArenaPool::setGlobalEnabled(WasEnabled);
+}
+
 TEST(StringInterner, InternsAndDeduplicates) {
   StringInterner SI;
   Symbol A = SI.intern("foo");
@@ -77,6 +266,130 @@ TEST(StringInterner, ManyStringsKeepStableText) {
     EXPECT_EQ(SI.text(Syms[I]), "sym" + std::to_string(I));
     EXPECT_EQ(SI.intern("sym" + std::to_string(I)), Syms[I]);
   }
+}
+
+TEST(StringInterner, SharedArenaStoresBytes) {
+  Arena A;
+  size_t Before = A.bytesAllocated();
+  StringInterner SI(A);
+  Symbol Foo = SI.intern("foo");
+  Symbol Again = SI.intern("foo");
+  EXPECT_EQ(Foo, Again);
+  EXPECT_EQ(SI.text(Foo), "foo");
+  EXPECT_EQ(A.bytesAllocated(), Before + 3)
+      << "interned bytes land in the shared arena, deduplicated";
+}
+
+TEST(PackedDomains, ThreeBitRoundtripAcrossWordBoundaries) {
+  // 21 three-bit lanes fit a 64-bit word; exercise sizes straddling the
+  // 21- and 42-lane boundaries.
+  for (size_t N : {1u, 20u, 21u, 22u, 41u, 42u, 43u, 100u}) {
+    support::StateDomains D(N, 7);
+    for (size_t I = 0; I != N; ++I)
+      D.set(I, static_cast<uint8_t>(1 + I % 7)); // keep non-zero
+    for (size_t I = 0; I != N; ++I) {
+      EXPECT_EQ(D.get(I), 1 + I % 7) << "N=" << N << " I=" << I;
+      EXPECT_EQ(D[I], D.get(I));
+    }
+    EXPECT_EQ(D.size(), N);
+  }
+}
+
+TEST(PackedDomains, TwoBitRoundtripAcrossWordBoundaries) {
+  for (size_t N : {1u, 31u, 32u, 33u, 64u, 65u}) {
+    support::BoolDomains B(N, 3);
+    for (size_t I = 0; I != N; ++I)
+      B.set(I, static_cast<uint8_t>(1 + I % 3));
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_EQ(B.get(I), 1 + I % 3) << "N=" << N << " I=" << I;
+  }
+}
+
+TEST(PackedDomains, SetDoesNotDisturbNeighbors) {
+  support::StateDomains D(45, 7);
+  D.set(21, 2); // first lane of the second word
+  D.set(20, 5); // last lane of the first word
+  EXPECT_EQ(D.get(19), 7);
+  EXPECT_EQ(D.get(20), 5);
+  EXPECT_EQ(D.get(21), 2);
+  EXPECT_EQ(D.get(22), 7);
+}
+
+TEST(PackedDomains, PushBackAndUnpackPackRoundtrip) {
+  support::StateDomains D;
+  std::vector<uint8_t> Expected;
+  for (size_t I = 0; I != 50; ++I) {
+    uint8_t V = static_cast<uint8_t>(1 + (I * 3) % 7);
+    D.push_back(V);
+    Expected.push_back(V);
+  }
+  EXPECT_EQ(D.unpack(), Expected);
+  EXPECT_EQ(support::StateDomains::pack(Expected), D);
+}
+
+TEST(PackedDomains, EqualityIsValueEquality) {
+  support::BoolDomains A(40, 3), B(40, 3);
+  EXPECT_EQ(A, B);
+  B.set(39, 1);
+  EXPECT_NE(A, B);
+  B.set(39, 3);
+  EXPECT_EQ(A, B);
+  support::BoolDomains Shorter(39, 3);
+  EXPECT_NE(A, Shorter);
+}
+
+TEST(PackedDomains, HasZeroEntryScansEveryLane) {
+  for (size_t N : {1u, 21u, 22u, 64u}) {
+    support::StateDomains D(N, 7);
+    EXPECT_FALSE(D.hasZeroEntry()) << "N=" << N;
+    for (size_t I : {size_t(0), N / 2, N - 1}) {
+      support::StateDomains E = D;
+      E.set(I, 0);
+      EXPECT_TRUE(E.hasZeroEntry()) << "N=" << N << " I=" << I;
+    }
+  }
+  support::StateDomains Empty;
+  EXPECT_FALSE(Empty.hasZeroEntry());
+}
+
+TEST(PackedDomains, DefaultAnyToFalseCollapsesOnlyAny) {
+  // BAny (0b11) lanes collapse to BFalse (0b01); decided lanes keep
+  // their value. Spans a word boundary (32 two-bit lanes per word).
+  support::BoolDomains B(70, 3);
+  B.set(0, 2);  // BTrue
+  B.set(31, 1); // BFalse, last lane of word 0
+  B.set(32, 2); // BTrue, first lane of word 1
+  B.defaultAnyToFalse();
+  EXPECT_EQ(B.get(0), 2);
+  EXPECT_EQ(B.get(31), 1);
+  EXPECT_EQ(B.get(32), 2);
+  for (size_t I : {size_t(1), size_t(30), size_t(33), size_t(69)})
+    EXPECT_EQ(B.get(I), 1) << "I=" << I;
+}
+
+TEST(PackedDomains, AssignReusesStorage) {
+  support::BoolDomains B(10, 3);
+  B.assign(40, 2);
+  EXPECT_EQ(B.size(), 40u);
+  for (size_t I = 0; I != 40; ++I)
+    EXPECT_EQ(B.get(I), 2);
+  B.clear();
+  EXPECT_EQ(B.size(), 0u);
+  EXPECT_TRUE(B.empty());
+}
+
+TEST(PackedDomains, SingleBitFlags) {
+  support::PackedBits F(130, 0);
+  F.set(0, 1);
+  F.set(63, 1);
+  F.set(64, 1);
+  F.set(129, 1);
+  EXPECT_EQ(F.get(0), 1);
+  EXPECT_EQ(F.get(1), 0);
+  EXPECT_EQ(F.get(63), 1);
+  EXPECT_EQ(F.get(64), 1);
+  EXPECT_EQ(F.get(128), 0);
+  EXPECT_EQ(F.get(129), 1);
 }
 
 TEST(Diagnostics, CollectsAndCounts) {

@@ -21,6 +21,8 @@
 ///                        restart passes instead of the worklist
 ///   --no-simplify        ablation: solve the raw constraint system
 ///                        (skip union-find collapse + component split)
+///   --no-packed-domains  ablation: byte-per-variable solver domains
+///                        (oracle/bench baseline for the packed default)
 ///   --solver-jobs N      worker threads for the per-component solve
 ///                        (0 = all cores, 1 = sequential)
 ///   --closure-jobs N     worker threads for the closure analysis
@@ -34,6 +36,11 @@
 ///   --metrics[=FILE]     emit per-stage metrics as JSON (stdout or FILE)
 ///   --batch DIR          run every .afl file under DIR (thread-pooled)
 ///   -j N                 worker threads for --batch (default: all cores)
+///
+/// Environment:
+///   AFL_ARENA_POOL=0|1       disable/enable the process-wide arena pool
+///                            (default: 1; see docs/OBSERVABILITY.md)
+///   AFL_ARENA_POOL_MAX=N     retention cap of the arena pool (default 32)
 ///   --serve              incremental analysis server: newline-delimited
 ///                        JSON requests on stdin, responses on stdout
 ///                        (protocol in docs/SERVER.md)
@@ -50,6 +57,7 @@
 #include "programs/Corpus.h"
 #include "regions/RegionPrinter.h"
 #include "regions/Validator.h"
+#include "support/ArenaPool.h"
 #include "support/CliParse.h"
 
 #include <algorithm>
@@ -77,6 +85,7 @@ void usage() {
       "  --no-freeapp --lexical-alloc --lexical-free   ablations\n"
       "  --closure-restart   reference closure fixpoint (restart mode)\n"
       "  --no-simplify       solve the raw constraint system\n"
+      "  --no-packed-domains byte-per-variable solver domains (ablation)\n"
       "  --no-shards         ignore emission-time shards (monolithic solve)\n"
       "  --solver-jobs N     threads for the per-component solve\n"
       "  --closure-jobs N    threads for the closure analysis\n"
@@ -87,7 +96,8 @@ void usage() {
       "  --timings           per-stage wall-time table\n"
       "  --metrics[=FILE]    per-stage metrics as JSON\n"
       "  --batch DIR [-j N]  run every .afl file under DIR concurrently\n"
-      "  --serve             incremental analysis server on stdin/stdout\n");
+      "  --serve             incremental analysis server on stdin/stdout\n"
+      "  env: AFL_ARENA_POOL=0|1, AFL_ARENA_POOL_MAX=N  arena pooling\n");
 }
 
 /// Strictly parses the numeric argument \p Text of \p Flag. Anything
@@ -227,6 +237,7 @@ int runBatchMode(const std::string &Dir, const driver::PipelineOptions &Options,
       MetricScope S(Reg, "batch");
       Batch.recordMetrics(Reg);
     }
+    driver::recordMemoryMetrics(Reg);
     if (!emitJson(MetricsFile, Reg.json()))
       return 1;
   }
@@ -252,6 +263,24 @@ int main(int Argc, char **Argv) {
   interp::BackendKind Backend = interp::BackendKind::Vm;
   if (const char *Env = std::getenv("AFL_INTERP"))
     Backend = parseInterpArg("$AFL_INTERP", Env);
+
+  // Same strictness for the arena-pool knobs: the library treats anything
+  // but "0" as enabled, but a typo here ("ture", "off") is a usage error.
+  if (const char *Env = std::getenv("AFL_ARENA_POOL")) {
+    bool Enabled = true;
+    if (!parseCliToggle(Env, Enabled)) {
+      std::fprintf(stderr,
+                   "aflc: invalid value '%s' for $AFL_ARENA_POOL "
+                   "(expected '0' or '1')\n",
+                   Env);
+      usage();
+      return 2;
+    }
+    ArenaPool::setGlobalEnabled(Enabled);
+  }
+  if (const char *Env = std::getenv("AFL_ARENA_POOL_MAX"))
+    ArenaPool::global().setMaxPooled(
+        parseJobsArg("$AFL_ARENA_POOL_MAX", Env));
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -300,6 +329,8 @@ int main(int Argc, char **Argv) {
       Threads = parseJobsArg("-j", Arg.c_str() + 2);
     } else if (Arg == "--no-simplify") {
       Solve.Simplify = false;
+    } else if (Arg == "--no-packed-domains") {
+      Solve.PackedDomains = false;
     } else if (Arg == "--no-shards") {
       Solve.UseShards = false;
     } else if (Arg == "--solver-jobs") {
@@ -444,6 +475,7 @@ int main(int Argc, char **Argv) {
       MetricScope Runs(Reg, "runs");
       Reg.set("peak_rss_kb", readPeakRssKb());
     }
+    driver::recordMemoryMetrics(Reg);
     if (!emitJson(MetricsFile, Reg.json()))
       return 1;
   }

@@ -43,6 +43,11 @@ def canonicalize(line):
         sys.exit(f"serve_smoke: server emitted non-JSON line: {line!r} ({e})")
     if isinstance(obj, dict):
         obj.pop("timings", None)
+        # Arena-pool counters vary with $AFL_ARENA_POOL and retention
+        # history, so they are not part of the reproducible transcript.
+        metrics = obj.get("result", {}).get("metrics")
+        if isinstance(metrics, dict):
+            metrics.pop("memory", None)
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 

@@ -1,464 +1,199 @@
 #include "driver/Server.h"
 
-#include "completion/AflCompletion.h"
-#include "completion/Conservative.h"
-#include "driver/Incremental.h"
-#include "interp/Interp.h"
-#include "support/ArenaPool.h"
-#include "support/Metrics.h"
+#include "support/ThreadPool.h"
 
-#include <cmath>
-#include <exception>
+#include <csignal>
+#include <cstring>
 #include <istream>
+#include <memory>
 #include <ostream>
 
 using namespace afl;
 using namespace afl::driver;
+using support::ListenSocket;
+using support::Socket;
 
 namespace {
 
-std::string jsonString(std::string_view S) {
-  std::string O = "\"";
-  O += MetricsRegistry::escapeJson(S);
-  O += '"';
-  return O;
+/// Written once before the handlers are installed, read from the handler.
+std::atomic<bool> *SignalStopFlag = nullptr;
+
+void onStopSignal(int) {
+  if (SignalStopFlag)
+    SignalStopFlag->store(true, std::memory_order_relaxed);
 }
 
-uint64_t micros(double Seconds) {
-  return Seconds > 0 ? static_cast<uint64_t>(std::llround(Seconds * 1e6)) : 0;
-}
-
-/// Re-serializes a request "id" for echoing (numbers and strings pass
-/// through; anything else, including a missing id, becomes null).
-std::string echoId(const json::Value *Id) {
-  if (!Id)
-    return "null";
-  if (Id->isInt())
-    return std::to_string(Id->asInt());
-  if (Id->isString())
-    return jsonString(Id->asString());
-  return "null";
-}
-
-/// The completion report as a JSON object: classification counts plus the
-/// full human-readable rendering (the byte string the differential tests
-/// compare).
-std::string reportJson(const completion::CompletionReport &R) {
-  std::string O = "{";
-  O += "\"regions\":" + std::to_string(R.Regions.size());
-  O += ",\"lexical\":" + std::to_string(R.NumLexical);
-  O += ",\"late_alloc\":" + std::to_string(R.NumLateAlloc);
-  O += ",\"early_free\":" + std::to_string(R.NumEarlyFree);
-  O += ",\"non_lexical\":" + std::to_string(R.NumNonLexical);
-  O += ",\"unused\":" + std::to_string(R.NumUnused);
-  O += ",\"text\":" + jsonString(R.str());
-  O += "}";
-  return O;
-}
-
-/// A solver domain vector as a compact digit string ('1'..'7' per state
-/// var, '1'..'3' per bool var). Takes the packed lane arrays
-/// (support/PackedDomains.h) the solver now returns.
-template <unsigned Bits>
-std::string domainString(const support::PackedArray<Bits> &Dom) {
-  std::string O;
-  O.reserve(Dom.size());
-  for (size_t I = 0; I != Dom.size(); ++I)
-    O.push_back(static_cast<char>('0' + (Dom.get(I) & 7)));
-  return O;
+std::string oversizeMessage(size_t Cap) {
+  return "request exceeds the " + std::to_string(Cap) + "-byte line limit";
 }
 
 } // namespace
 
-Server::AnalysisInfo Server::analyze(Document &Doc,
-                                     const closure::ClosureAnalysis *PrevCA,
-                                     const closure::IncrementalSeed *Seed,
-                                     StageTimings &T) {
-  AnalysisInfo Info;
-  T.AnalysisRan = true;
-  Stopwatch Watch;
-
-  auto CA = std::make_unique<closure::ClosureAnalysis>(*Doc.Prog);
-  bool Converged = false;
-  if (PrevCA && Seed && CA->runIncremental(*PrevCA, *Seed)) {
-    Info.Tier = "incremental";
-    Converged = true;
-    ++Stats.IncrementalAnalyses;
-  } else {
-    if (PrevCA && Seed) // rejected seed: restart on a fresh instance
-      CA = std::make_unique<closure::ClosureAnalysis>(*Doc.Prog);
-    Converged = CA->run();
-    ++Stats.FullAnalyses;
-  }
-  T.Closure = Watch.seconds();
-  Doc.CA = std::move(CA);
-
-  Info.Converged = Converged;
-  Info.ProcessedContexts = Doc.CA->stats().ProcessedContexts;
-  Info.DirtiedContexts = Doc.CA->stats().Incremental
-                             ? Doc.CA->stats().DirtiedContexts
-                             : Doc.CA->stats().ProcessedContexts;
-  Stats.DirtiedContexts += Info.DirtiedContexts;
-
-  uint64_t Hits0 = Doc.Cache.Hits;
-  uint64_t Misses0 = Doc.Cache.Misses;
-  if (!Converged) {
-    // Mirror aflCompletion: unconverged tables are unsound, fall back to
-    // the conservative completion (should not happen in practice).
-    Doc.Gen.reset();
-    Doc.Sol = solver::SolveResult();
-    Doc.AflC = completion::conservativeCompletion(*Doc.Prog);
-  } else {
-    Watch.reset();
-    Doc.Gen = std::make_unique<constraints::GenResult>(
-        constraints::generateConstraints(*Doc.Prog, *Doc.CA));
-    T.ConstraintGen = Watch.seconds();
-    Doc.Sol = solver::solveCached(Doc.Gen->Sys, solver::SolveOptions(),
-                                  Doc.Cache);
-    T.Solve = Doc.Sol.Seconds;
-    Watch.reset();
-    Doc.AflC = Doc.Sol.Sat
-                   ? completion::extractCompletion(*Doc.Gen, Doc.Sol)
-                   : completion::conservativeCompletion(*Doc.Prog);
-    T.Extract = Watch.seconds();
-  }
-  Doc.Report = completion::reportCompletion(*Doc.Prog, Doc.AflC);
-
-  Info.Sat = Doc.Sol.Sat;
-  Info.ShardsSolved = Doc.Cache.Misses - Misses0;
-  Info.ShardsReused = Doc.Cache.Hits - Hits0;
-  Stats.ShardsSolved += Info.ShardsSolved;
-  Stats.ShardsReused += Info.ShardsReused;
-  return Info;
-}
-
-Server::Document *Server::findDoc(const json::Value &Params,
-                                  std::string &Error) {
-  const json::Value *Doc = Params.find("doc");
-  if (!Doc || !Doc->isInt()) {
-    Error = "missing integer \"doc\" parameter";
-    return nullptr;
-  }
-  auto It = Docs.find(Doc->asInt());
-  if (It == Docs.end()) {
-    Error = "unknown document " + std::to_string(Doc->asInt());
-    return nullptr;
-  }
-  return &It->second;
-}
-
-std::string Server::handleOpen(const json::Value &Params, StageTimings &T,
-                               std::string &Error) {
-  const json::Value *Source = Params.find("source");
-  if (!Source || !Source->isString()) {
-    Error = "missing string \"source\" parameter";
-    return "";
-  }
-  ++Stats.Opens;
-
-  DiagnosticEngine Diags;
-  FrontEnd F = runFrontEnd(Source->asString(), Diags);
-  T.FrontEnd = F.ParseSeconds + F.TypeInferSeconds + F.RegionInferSeconds;
-  if (!F.ok()) {
-    Error = "analysis failed: " + Diags.str();
-    return "";
-  }
-
-  Document Doc;
-  Doc.Text = Source->asString();
-  Doc.Ctx = std::move(F.Ctx);
-  Doc.Ast = F.Ast;
-  Doc.Prog = std::move(F.Prog);
-  AnalysisInfo Info = analyze(Doc, nullptr, nullptr, T);
-
-  int64_t Id = NextDocId++;
-  Document &Stored = Docs[Id];
-  Stored = std::move(Doc);
-
-  std::string O = "{\"doc\":" + std::to_string(Id);
-  O += ",\"tier\":" + jsonString(Info.Tier);
-  O += ",\"report\":" + reportJson(Stored.Report);
-  O += ",\"analysis\":" + analysisBody(Stored, Info);
-  O += "}";
-  return O;
-}
-
-std::string Server::analysisBody(const Document &Doc,
-                                 const AnalysisInfo &Info) const {
-  std::string O = "{";
-  O += "\"converged\":" + std::string(Info.Converged ? "true" : "false");
-  O += ",\"sat\":" + std::string(Info.Sat ? "true" : "false");
-  O += ",\"contexts\":" + std::to_string(Doc.CA ? Doc.CA->numContexts() : 0);
-  O += ",\"closures\":" + std::to_string(Doc.CA ? Doc.CA->numClosures() : 0);
-  O += ",\"state_vars\":" +
-       std::to_string(Doc.Gen ? Doc.Gen->Sys.numStateVars() : 0);
-  O += ",\"bool_vars\":" +
-       std::to_string(Doc.Gen ? Doc.Gen->Sys.numBoolVars() : 0);
-  O += ",\"constraints\":" +
-       std::to_string(Doc.Gen ? Doc.Gen->Sys.numConstraints() : 0);
-  O += ",\"shards\":" + std::to_string(Doc.Gen ? Doc.Gen->Sys.numShards() : 0);
-  O += ",\"processed_contexts\":" + std::to_string(Info.ProcessedContexts);
-  O += ",\"dirtied_contexts\":" + std::to_string(Info.DirtiedContexts);
-  O += ",\"shards_solved\":" + std::to_string(Info.ShardsSolved);
-  O += ",\"shards_reused\":" + std::to_string(Info.ShardsReused);
-  O += "}";
-  return O;
-}
-
-std::string Server::handleEdit(const json::Value &Params, StageTimings &T,
-                               std::string &Error) {
-  Document *Doc = findDoc(Params, Error);
-  if (!Doc)
-    return "";
-  const json::Value *Start = Params.find("start");
-  const json::Value *Length = Params.find("length");
-  const json::Value *Text = Params.find("text");
-  if (!Start || !Start->isInt() || !Length || !Length->isInt() || !Text ||
-      !Text->isString()) {
-    Error = "edit needs integer \"start\"/\"length\" and string \"text\"";
-    return "";
-  }
-  int64_t S = Start->asInt();
-  int64_t L = Length->asInt();
-  if (S < 0 || L < 0 || static_cast<uint64_t>(S) > Doc->Text.size() ||
-      static_cast<uint64_t>(S + L) > Doc->Text.size()) {
-    Error = "edit span [" + std::to_string(S) + ", " + std::to_string(S + L) +
-            ") out of range for document of " +
-            std::to_string(Doc->Text.size()) + " bytes";
-    return "";
-  }
-  ++Stats.Edits;
-
-  std::string NewText = Doc->Text;
-  NewText.replace(static_cast<size_t>(S), static_cast<size_t>(L),
-                  Text->asString());
-
-  // The front end always re-runs from scratch; a failure leaves the
-  // document at its previous revision (revert semantics, docs/SERVER.md).
-  DiagnosticEngine Diags;
-  FrontEnd F = runFrontEnd(NewText, Diags);
-  T.FrontEnd = F.ParseSeconds + F.TypeInferSeconds + F.RegionInferSeconds;
-  if (!F.ok()) {
-    Error = "analysis failed (document unchanged): " + Diags.str();
-    return "";
-  }
-
-  ProgramDiff Diff = diffPrograms(*Doc->Prog, *F.Prog);
-  AnalysisInfo Info;
-  if (Diff.Kind == DiffKind::Identical || Diff.Kind == DiffKind::LiteralsOnly) {
-    // The previous region program is isomorphic modulo literal payloads,
-    // which nothing downstream of the front end reads: keep every cached
-    // artifact (including the old program as the analysis baseline) and
-    // only move the text forward.
-    Doc->Text = std::move(NewText);
-    Info.Tier = "reuse";
-    Info.Converged = Doc->CA && Doc->CA->converged();
-    Info.Sat = Doc->Sol.Sat;
-    Info.ShardsReused = Doc->Gen ? Doc->Gen->Sys.numShards() : 0;
-    ++Stats.ReusedAnalyses;
-    Stats.ShardsReused += Info.ShardsReused;
-  } else {
-    // Keep the previous program + closure tables alive while the seeded
-    // restart translates out of them, then drop them.
-    std::unique_ptr<regions::RegionProgram> OldProg = std::move(Doc->Prog);
-    std::unique_ptr<closure::ClosureAnalysis> OldCA = std::move(Doc->CA);
-    Doc->Text = std::move(NewText);
-    Doc->Ctx = std::move(F.Ctx);
-    Doc->Ast = F.Ast;
-    Doc->Prog = std::move(F.Prog);
-    bool TrySeed = Diff.Kind == DiffKind::Subtree && OldCA != nullptr;
-    Info = analyze(*Doc, TrySeed ? OldCA.get() : nullptr,
-                   TrySeed ? &Diff.Seed : nullptr, T);
-  }
-
-  const json::Value *DocId = Params.find("doc");
-  std::string O = "{\"doc\":" + std::to_string(DocId->asInt());
-  O += ",\"tier\":" + jsonString(Info.Tier);
-  O += ",\"report\":" + reportJson(Doc->Report);
-  O += ",\"analysis\":" + analysisBody(*Doc, Info);
-  O += "}";
-  return O;
-}
-
-std::string Server::handleQuery(const json::Value &Params,
-                                std::string &Error) {
-  const json::Value *What = Params.find("what");
-  if (!What || !What->isString()) {
-    Error = "missing string \"what\" parameter";
-    return "";
-  }
-  ++Stats.Queries;
-  const std::string &W = What->asString();
-
-  if (W == "metrics") {
-    std::string O = "{\"metrics\":{";
-    O += "\"requests\":" + std::to_string(Stats.Requests);
-    O += ",\"errors\":" + std::to_string(Stats.Errors);
-    O += ",\"opens\":" + std::to_string(Stats.Opens);
-    O += ",\"edits\":" + std::to_string(Stats.Edits);
-    O += ",\"queries\":" + std::to_string(Stats.Queries);
-    O += ",\"closes\":" + std::to_string(Stats.Closes);
-    O += ",\"open_docs\":" + std::to_string(Docs.size());
-    O += ",\"full_analyses\":" + std::to_string(Stats.FullAnalyses);
-    O += ",\"incremental_analyses\":" +
-         std::to_string(Stats.IncrementalAnalyses);
-    O += ",\"reused_analyses\":" + std::to_string(Stats.ReusedAnalyses);
-    O += ",\"dirtied_contexts\":" + std::to_string(Stats.DirtiedContexts);
-    O += ",\"shards_solved\":" + std::to_string(Stats.ShardsSolved);
-    O += ",\"shards_reused\":" + std::to_string(Stats.ShardsReused);
-    // Process-wide arena-pool counters: every open/edit leases its AST
-    // and region-IR arenas from the pool (docs/OBSERVABILITY.md).
-    ArenaPool::Stats Pool = ArenaPool::global().stats();
-    O += ",\"memory\":{\"arena_pool\":{";
-    O += "\"enabled\":" +
-         std::string(ArenaPool::globalEnabled() ? "true" : "false");
-    O += ",\"checkouts\":" + std::to_string(Pool.Checkouts);
-    O += ",\"hits\":" + std::to_string(Pool.Hits);
-    O += ",\"misses\":" + std::to_string(Pool.Misses);
-    O += ",\"returns\":" + std::to_string(Pool.Returns);
-    O += ",\"pooled\":" + std::to_string(Pool.Pooled);
-    O += ",\"retained_bytes\":" + std::to_string(Pool.RetainedBytes);
-    O += "}}";
-    O += "}}";
-    return O;
-  }
-
-  Document *Doc = findDoc(Params, Error);
-  if (!Doc)
-    return "";
-  if (W == "report")
-    return "{\"report\":" + reportJson(Doc->Report) + "}";
-  if (W == "domains") {
-    std::string O = "{\"domains\":{";
-    O += "\"sat\":" + std::string(Doc->Sol.Sat ? "true" : "false");
-    O += ",\"states\":" + jsonString(domainString(Doc->Sol.StateDom));
-    O += ",\"bools\":" + jsonString(domainString(Doc->Sol.BoolDom));
-    O += "}}";
-    return O;
-  }
-  if (W == "run") {
-    // Instrumented execution of the document under its current A-F-L
-    // completion. Served runs use the process-default backend — the
-    // bytecode VM unless $AFL_INTERP=tree (docs/VM.md).
-    Stopwatch Watch;
-    interp::RunResult R = interp::run(*Doc->Prog, Doc->AflC);
-    double TotalSeconds = Watch.seconds();
-    bool Vm = interp::defaultBackend() == interp::BackendKind::Vm;
-    std::string O = "{\"run\":{";
-    O += "\"ok\":" + std::string(R.Ok ? "true" : "false");
-    if (R.Ok)
-      O += ",\"result\":" + jsonString(R.ResultText);
-    else
-      O += ",\"error\":" + jsonString(R.Error);
-    O += ",\"backend\":" + jsonString(Vm ? "vm" : "tree");
-    O += ",\"stats\":{";
-    O += "\"max_regions\":" + std::to_string(R.S.MaxRegions);
-    O += ",\"region_allocs\":" + std::to_string(R.S.TotalRegionAllocs);
-    O += ",\"value_allocs\":" + std::to_string(R.S.TotalValueAllocs);
-    O += ",\"max_values\":" + std::to_string(R.S.MaxValues);
-    O += ",\"final_values\":" + std::to_string(R.S.FinalValues);
-    O += ",\"memory_ops\":" + std::to_string(R.S.Time);
-    O += "},\"micros\":{";
-    O += "\"compile_us\":" + std::to_string(micros(R.VmCompileSeconds));
-    O += ",\"execute_us\":" + std::to_string(micros(R.VmExecuteSeconds));
-    O += ",\"total_us\":" + std::to_string(micros(TotalSeconds));
-    O += "}}}";
-    return O;
-  }
-  Error =
-      "unknown query \"" + W + "\" (expected report, metrics, domains or run)";
-  return "";
-}
-
-std::string Server::handleClose(const json::Value &Params,
-                                std::string &Error) {
-  const json::Value *DocId = Params.find("doc");
-  Document *Doc = findDoc(Params, Error);
-  if (!Doc)
-    return "";
-  ++Stats.Closes;
-  Docs.erase(DocId->asInt());
-  return "{\"closed\":true}";
-}
-
-std::string Server::handleLine(const std::string &Line) {
-  Stopwatch Total;
-  ++Stats.Requests;
-
-  std::string IdJson = "null";
-  StageTimings T;
-  auto Respond = [&](bool Ok, const std::string &Body) {
-    std::string O = "{\"id\":" + IdJson;
-    O += Ok ? ",\"ok\":true,\"result\":" + Body
-            : ",\"ok\":false,\"error\":" + jsonString(Body);
-    O += ",\"timings\":{";
-    if (T.AnalysisRan || T.FrontEnd > 0) {
-      O += "\"frontend_us\":" + std::to_string(micros(T.FrontEnd));
-      O += ",\"closure_us\":" + std::to_string(micros(T.Closure));
-      O += ",\"congen_us\":" + std::to_string(micros(T.ConstraintGen));
-      O += ",\"solve_us\":" + std::to_string(micros(T.Solve));
-      O += ",\"extract_us\":" + std::to_string(micros(T.Extract));
-      O += ",";
+int Server::run(std::istream &In, std::ostream &Out, size_t MaxRequestBytes) {
+  Session S;
+  LineSplitter Split(MaxRequestBytes);
+  char Buf[4096];
+  bool Eof = false;
+  while (!S.shutdownRequested()) {
+    std::string Line;
+    LineSplitter::Item It = Split.next(Line);
+    if (It == LineSplitter::Item::None) {
+      if (Eof)
+        break;
+      In.read(Buf, sizeof(Buf));
+      std::streamsize N = In.gcount();
+      if (N > 0) {
+        Split.feed(Buf, static_cast<size_t>(N));
+      } else {
+        Split.finish();
+        Eof = true;
+      }
+      continue;
     }
-    O += "\"total_us\":" + std::to_string(micros(Total.seconds())) + "}}";
-    return O;
-  };
-  auto Fail = [&](const std::string &Msg) {
-    ++Stats.Errors;
-    return Respond(false, Msg);
-  };
-
-  json::Value Req;
-  std::string ParseError;
-  if (!json::parseJson(Line, Req, ParseError))
-    return Fail("parse error: " + ParseError);
-  if (!Req.isObject())
-    return Fail("request must be a JSON object");
-  IdJson = echoId(Req.find("id"));
-  const json::Value *Method = Req.find("method");
-  if (!Method || !Method->isString())
-    return Fail("missing string \"method\"");
-  static const json::Value EmptyParams = json::Value::object();
-  const json::Value *Params = Req.find("params");
-  if (!Params)
-    Params = &EmptyParams;
-  else if (!Params->isObject())
-    return Fail("\"params\" must be an object");
-
-  const std::string &M = Method->asString();
-  try {
-    std::string Error;
-    std::string Result;
-    if (M == "open")
-      Result = handleOpen(*Params, T, Error);
-    else if (M == "edit")
-      Result = handleEdit(*Params, T, Error);
-    else if (M == "query")
-      Result = handleQuery(*Params, Error);
-    else if (M == "close")
-      Result = handleClose(*Params, Error);
-    else if (M == "shutdown") {
-      Shutdown = true;
-      Result = "{\"stopping\":true}";
-    } else
-      Error = "unknown method \"" + M + "\"";
-    if (!Error.empty())
-      return Fail(Error);
-    return Respond(true, Result);
-  } catch (const std::exception &E) {
-    return Fail(std::string("internal error: ") + E.what());
-  } catch (...) {
-    return Fail("internal error");
-  }
-}
-
-int Server::run(std::istream &In, std::ostream &Out) {
-  std::string Line;
-  while (!Shutdown && std::getline(In, Line)) {
+    if (It == LineSplitter::Item::Oversize) {
+      Out << S.transportError(oversizeMessage(MaxRequestBytes)) << "\n";
+      Out.flush();
+      continue;
+    }
     if (Line.empty())
       continue;
-    Out << handleLine(Line) << "\n";
+    Out << S.handleLine(Line) << "\n";
     Out.flush();
   }
   return 0;
+}
+
+bool Server::listen(const ServeOptions &O, std::string &Error) {
+  Opts = O;
+  if (Opts.MaxConnections == 0)
+    Opts.MaxConnections = 1;
+  // The connection cap doubles as the kernel backlog: connections we
+  // would reject anyway have no business queueing behind the acceptor.
+  Listener = ListenSocket::listenOn(Opts.Port,
+                                    static_cast<int>(Opts.MaxConnections),
+                                    Error);
+  if (!Listener.valid())
+    return false;
+  if (Opts.InstallSignalHandlers) {
+    SignalStopFlag = &Stopping;
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = onStopSignal;
+    sigemptyset(&SA.sa_mask);
+    ::sigaction(SIGINT, &SA, nullptr);
+    ::sigaction(SIGTERM, &SA, nullptr);
+  }
+  return true;
+}
+
+int Server::serve() {
+  ThreadPool &Pool = ThreadPool::global();
+  // Reserve one pool worker per connection on top of the compute
+  // workers: submitted handlers block on their sockets for their whole
+  // lifetime, so without the reserve they would starve parallelFor — and
+  // on a single-core host (a zero-worker global pool) never run at all.
+  Pool.ensureWorkers(ThreadPool::hardwareThreads() - 1 + Opts.MaxConnections);
+
+  while (!Stopping.load(std::memory_order_relaxed)) {
+    // Short accept slices so stop requests (shutdown, signals) are
+    // noticed promptly even with no traffic.
+    Socket Client = Listener.accept(200);
+    if (!Client.valid())
+      continue;
+    if (Conn.Active.load(std::memory_order_relaxed) >= Opts.MaxConnections) {
+      Conn.Rejected.fetch_add(1, std::memory_order_relaxed);
+      Client.sendAll(Session::errorLine(
+                         "server at capacity (" +
+                         std::to_string(Opts.MaxConnections) +
+                         " connections); retry later") +
+                     "\n");
+      continue; // destructor closes the rejected connection
+    }
+    Conn.Accepted.fetch_add(1, std::memory_order_relaxed);
+    Conn.Active.fetch_add(1, std::memory_order_relaxed);
+    auto Shared = std::make_shared<Socket>(std::move(Client));
+    Pool.submit([this, Shared] { handleConnection(std::move(*Shared)); });
+  }
+  Listener.close();
+
+  // Drain: every live handler notices Stopping within one poll slice,
+  // finishes the lines it already buffered, and signals DrainCV.
+  std::unique_lock<std::mutex> Lock(DrainMutex);
+  DrainCV.wait(Lock, [this] {
+    return Conn.Active.load(std::memory_order_acquire) == 0;
+  });
+  return 0;
+}
+
+void Server::handleConnection(Socket Client) {
+  {
+    Session S(&Conn);
+    LineSplitter Split(Opts.MaxRequestBytes);
+    char Buf[4096];
+    unsigned IdleMs = 0;
+
+    // Answers every complete line currently buffered; false means the
+    // connection should close (peer gone or shutdown requested).
+    auto Pump = [&]() -> bool {
+      std::string Line;
+      for (;;) {
+        LineSplitter::Item It = Split.next(Line);
+        if (It == LineSplitter::Item::None)
+          return true;
+        std::string Reply;
+        if (It == LineSplitter::Item::Oversize)
+          Reply = S.transportError(oversizeMessage(Opts.MaxRequestBytes));
+        else if (Line.empty())
+          continue;
+        else
+          Reply = S.handleLine(Line);
+        if (!Client.sendAll(Reply + "\n"))
+          return false;
+        if (S.shutdownRequested()) {
+          requestStop();
+          return false;
+        }
+      }
+    };
+
+    for (;;) {
+      Socket::Wait W = Client.waitReadable(200);
+      if (Stopping.load(std::memory_order_relaxed))
+        break; // server draining; buffered requests were already answered
+      if (W == Socket::Wait::Timeout) {
+        IdleMs += 200;
+        if (Opts.IdleTimeoutMs && IdleMs >= Opts.IdleTimeoutMs) {
+          Conn.TimedOut.fetch_add(1, std::memory_order_relaxed);
+          Client.sendAll(S.transportError("closing connection idle for " +
+                                          std::to_string(IdleMs) + " ms") +
+                         "\n");
+          break;
+        }
+        continue;
+      }
+      if (W == Socket::Wait::Error)
+        break;
+      IdleMs = 0;
+      long N = Client.recvSome(Buf, sizeof(Buf));
+      if (N < 0)
+        break;
+      if (N == 0) {
+        // Peer EOF: a final unterminated line still gets a response
+        // (the peer may shutdown(SHUT_WR) and read on).
+        Split.finish();
+        Pump();
+        break;
+      }
+      Split.feed(Buf, static_cast<size_t>(N));
+      if (!Pump())
+        break;
+    }
+  } // ~Session: the connection's documents die with it
+  Client.close();
+  // Notify under the mutex: serve()'s drain wait cannot re-acquire it
+  // (and let the Server be destroyed) until the notify has finished
+  // touching the condition variable.
+  std::lock_guard<std::mutex> Lock(DrainMutex);
+  Conn.Active.fetch_sub(1, std::memory_order_acq_rel);
+  DrainCV.notify_all();
 }

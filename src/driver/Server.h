@@ -1,149 +1,104 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The incremental analysis server behind `aflc --serve`: a persistent
-/// process that keeps analyzed documents hot and re-analyzes edits
-/// incrementally. The wire protocol is newline-delimited JSON on
-/// stdin/stdout — one request object per line in, one response object per
-/// line out, in order (docs/SERVER.md documents every method, the
-/// invalidation model, and the failure semantics).
+/// The transports behind `aflc --serve`: a stdio pump and a concurrent
+/// loopback socket listener, both driving transport-agnostic
+/// driver::Session instances (driver/Session.h) with identical framing
+/// (LineSplitter: CRLF tolerated, oversized requests rejected with a
+/// protocol error, a final unterminated line at EOF still answered).
 ///
-/// Per edit the server re-runs the front end (parse → types → regions;
-/// always from scratch — it is the cheap half), then structurally diffs
-/// the new region program against the open one (driver/Incremental.h):
-///
-///   * identical-modulo-literals edits reuse the previous analysis
-///     outright ("reuse" tier — zero contexts dirtied);
-///   * single arrow-free subtree replacements seed the closure analysis
-///     from the previous revision's tables and restart the worklist from
-///     the edited subtree's parent ("incremental" tier);
-///   * everything else re-analyzes from scratch ("full" tier).
-///
-/// All tiers share a per-document shard solution cache
-/// (solver::ShardSolutionCache), so constraint shards untouched by an
-/// edit replay their solved domains without re-entering the solver.
-/// Every tier produces byte-identical reports and solver domains to a
-/// from-scratch run — tests/ServerTest.cpp proves it differentially.
+/// Socket mode (`--listen PORT`) accepts up to MaxConnections concurrent
+/// connections; each gets its own Session (own document store, own ids)
+/// running as one detached task on the shared ThreadPool, so connections
+/// never block each other while sharing the process-wide ArenaPool and
+/// compute workers. Past the cap, new connections receive a one-line
+/// overload error and are closed (bounded backlog — no unbounded
+/// queueing). Idle connections are closed after IdleTimeoutMs with a
+/// final error line. A `shutdown` request on any connection — or
+/// SIGINT/SIGTERM — stops the acceptor and drains: every live connection
+/// finishes the requests it has already buffered, then closes.
+/// docs/SERVER.md documents the protocol; docs/OBSERVABILITY.md the
+/// connection counters.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef AFL_DRIVER_SERVER_H
 #define AFL_DRIVER_SERVER_H
 
-#include "closure/ClosureAnalysis.h"
-#include "completion/Report.h"
-#include "constraints/ConstraintGen.h"
-#include "driver/Pipeline.h"
-#include "solver/Solver.h"
-#include "support/Json.h"
+#include "driver/Session.h"
+#include "support/Socket.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
-#include <map>
-#include <memory>
+#include <mutex>
 #include <string>
 
 namespace afl {
 namespace driver {
 
-/// One `aflc --serve` session. Not thread-safe: requests are handled
-/// strictly in order, matching the one-line-in/one-line-out protocol.
+/// Configuration of the socket transport (`aflc --serve --listen PORT`).
+struct ServeOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see
+  /// Server::port() after listen()).
+  uint16_t Port = 0;
+  /// Concurrent-connection cap; extra connections get an overload reply.
+  /// Also used as the kernel listen backlog.
+  unsigned MaxConnections = 8;
+  /// Idle-connection timeout in milliseconds; 0 disables.
+  unsigned IdleTimeoutMs = 5 * 60 * 1000;
+  /// Per-request size cap applied by the framing layer.
+  size_t MaxRequestBytes = Session::DefaultMaxRequestBytes;
+  /// Install SIGINT/SIGTERM handlers that trigger requestStop(). Tests
+  /// disable this to keep the harness's handlers.
+  bool InstallSignalHandlers = true;
+};
+
+/// The `aflc --serve` transport layer. One instance runs either the
+/// stdio pump (run()) or the socket listener (listen() + serve()).
 class Server {
 public:
-  /// Handles one request line and returns the response line (no trailing
-  /// newline). Never throws and never terminates the process: malformed
-  /// input, unknown methods and bad arguments all produce `"ok": false`
-  /// error responses.
-  std::string handleLine(const std::string &Line);
-
   /// Serves newline-delimited requests from \p In to \p Out until EOF or
-  /// a `shutdown` request. Returns the process exit code (0).
-  int run(std::istream &In, std::ostream &Out);
+  /// a `shutdown` request, through one Session. Returns the process exit
+  /// code (0). Framing matches the socket transport: CRLF stripped,
+  /// requests over \p MaxRequestBytes answered with a protocol error, a
+  /// final unterminated line at EOF still processed.
+  int run(std::istream &In, std::ostream &Out,
+          size_t MaxRequestBytes = Session::DefaultMaxRequestBytes);
 
-  /// True once a `shutdown` request has been handled.
-  bool shutdownRequested() const { return Shutdown; }
+  /// Binds the listen socket (loopback only). Returns false and sets
+  /// \p Error on failure. Must be called once before serve().
+  bool listen(const ServeOptions &Opts, std::string &Error);
+
+  /// The bound port (meaningful after a successful listen(); resolves
+  /// ephemeral port requests).
+  uint16_t port() const { return Listener.port(); }
+
+  /// Runs the accept loop until requestStop() (a `shutdown` request on
+  /// any connection, a signal, or an explicit call), then drains live
+  /// connections and returns 0.
+  int serve();
+
+  /// Asks the accept loop to stop. Thread-safe and signal-safe.
+  void requestStop() { Stopping.store(true, std::memory_order_relaxed); }
+
+  /// The transport's lifetime connection counters.
+  const ConnectionCounters &connections() const { return Conn; }
 
 private:
-  /// An open document: its text plus every analysis artifact, kept hot
-  /// across edits. The region program owns the IR the closure analysis
-  /// and constraint system point into, so artifacts are replaced as a
-  /// unit (or, on the reuse tier, kept as a unit while only Text moves).
-  struct Document {
-    std::string Text;
-    std::unique_ptr<ast::ASTContext> Ctx;
-    const ast::Expr *Ast = nullptr;
-    std::unique_ptr<regions::RegionProgram> Prog;
-    std::unique_ptr<closure::ClosureAnalysis> CA;
-    std::unique_ptr<constraints::GenResult> Gen;
-    solver::SolveResult Sol;
-    regions::Completion AflC;
-    completion::CompletionReport Report;
-    solver::ShardSolutionCache Cache;
-  };
+  /// One connection's pump: feeds a LineSplitter from the socket, answers
+  /// each request line through the connection's Session, and exits on
+  /// peer EOF, send failure, idle timeout, `shutdown`, or server stop.
+  void handleConnection(support::Socket Client);
 
-  /// Wall-clock stage timings of one request, in seconds.
-  struct StageTimings {
-    double FrontEnd = 0;
-    double Closure = 0;
-    double ConstraintGen = 0;
-    double Solve = 0;
-    double Extract = 0;
-    bool AnalysisRan = false;
-  };
-
-  /// Outcome summary of one analysis (or reuse) for the response body.
-  struct AnalysisInfo {
-    const char *Tier = "full";
-    bool Converged = false;
-    bool Sat = false;
-    size_t ProcessedContexts = 0;
-    size_t DirtiedContexts = 0;
-    uint64_t ShardsSolved = 0;
-    uint64_t ShardsReused = 0;
-  };
-
-  /// Runs closure analysis → constraint generation → cached solve →
-  /// extraction over Doc.Prog, replacing Doc's analysis artifacts. When
-  /// \p PrevCA and \p Seed are given, tries the seeded incremental
-  /// worklist first and falls back to a full run if the seed is rejected.
-  /// Mirrors completion::aflCompletion's fallbacks (conservative
-  /// completion on non-convergence or unsat) so results are byte-identical
-  /// to the one-shot pipeline.
-  AnalysisInfo analyze(Document &Doc, const closure::ClosureAnalysis *PrevCA,
-                       const closure::IncrementalSeed *Seed, StageTimings &T);
-
-  /// Renders the shared "analysis" result object for open/edit responses.
-  std::string analysisBody(const Document &Doc, const AnalysisInfo &Info) const;
-
-  std::string handleOpen(const json::Value &Params, StageTimings &T,
-                         std::string &Error);
-  std::string handleEdit(const json::Value &Params, StageTimings &T,
-                         std::string &Error);
-  std::string handleQuery(const json::Value &Params, std::string &Error);
-  std::string handleClose(const json::Value &Params, std::string &Error);
-
-  Document *findDoc(const json::Value &Params, std::string &Error);
-
-  std::map<int64_t, Document> Docs;
-  int64_t NextDocId = 1;
-  bool Shutdown = false;
-
-  /// Lifetime counters, exposed by `query {"what": "metrics"}` and
-  /// documented under `server/*` in docs/OBSERVABILITY.md.
-  struct Counters {
-    uint64_t Requests = 0;
-    uint64_t Errors = 0;
-    uint64_t Opens = 0;
-    uint64_t Edits = 0;
-    uint64_t Queries = 0;
-    uint64_t Closes = 0;
-    uint64_t FullAnalyses = 0;
-    uint64_t IncrementalAnalyses = 0;
-    uint64_t ReusedAnalyses = 0;
-    uint64_t DirtiedContexts = 0;
-    uint64_t ShardsSolved = 0;
-    uint64_t ShardsReused = 0;
-  } Stats;
+  support::ListenSocket Listener;
+  ServeOptions Opts;
+  ConnectionCounters Conn;
+  std::atomic<bool> Stopping{false};
+  /// Signals Conn.Active reaching zero during the serve() drain.
+  std::mutex DrainMutex;
+  std::condition_variable DrainCV;
 };
 
 } // namespace driver

@@ -320,11 +320,14 @@ private:
       errno = 0;
       char *End = nullptr;
       long long V = std::strtoll(Tok.c_str(), &End, 10);
-      if (errno == 0 && End && *End == '\0') {
+      // Out-of-range literals must not silently saturate (or lose
+      // precision as a double): callers use integer ids verbatim.
+      if (errno == ERANGE)
+        return fail("integer literal out of range");
+      if (End && *End == '\0') {
         Out = Value::integer(static_cast<int64_t>(V));
         return true;
       }
-      // Out of int64 range: fall through to double.
     }
     errno = 0;
     char *End = nullptr;

@@ -1,0 +1,174 @@
+#include "support/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace afl;
+using namespace afl::support;
+
+namespace {
+
+sockaddr_in loopbackAddr(uint16_t Port) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  return Addr;
+}
+
+std::string errnoString(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Socket::Wait Socket::waitReadable(int TimeoutMs) {
+  pollfd P;
+  P.fd = Fd;
+  P.events = POLLIN;
+  P.revents = 0;
+  for (;;) {
+    int N = ::poll(&P, 1, TimeoutMs);
+    if (N > 0)
+      return Wait::Ready; // readable, EOF, or error — recv disambiguates
+    if (N == 0)
+      return Wait::Timeout;
+    if (errno != EINTR)
+      return Wait::Error;
+  }
+}
+
+long Socket::recvSome(char *Buf, size_t Len) {
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, Len, 0);
+    if (N >= 0)
+      return static_cast<long>(N);
+    if (errno != EINTR)
+      return -1;
+  }
+}
+
+bool Socket::sendAll(std::string_view Data) {
+  while (!Data.empty()) {
+    ssize_t N = ::send(Fd, Data.data(), Data.size(), MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data.remove_prefix(static_cast<size_t>(N));
+  }
+  return true;
+}
+
+Socket Socket::connectTo(uint16_t Port, std::string &Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket");
+    return Socket();
+  }
+  sockaddr_in Addr = loopbackAddr(Port);
+  for (;;) {
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      return Socket(Fd);
+    if (errno != EINTR)
+      break;
+  }
+  Error = errnoString("connect");
+  ::close(Fd);
+  return Socket();
+}
+
+ListenSocket &ListenSocket::operator=(ListenSocket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    BoundPort = O.BoundPort;
+    O.Fd = -1;
+    O.BoundPort = 0;
+  }
+  return *this;
+}
+
+void ListenSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+ListenSocket ListenSocket::listenOn(uint16_t Port, int Backlog,
+                                    std::string &Error) {
+  ListenSocket L;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket");
+    return L;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr = loopbackAddr(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = errnoString("bind");
+    ::close(Fd);
+    return L;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Error = errnoString("listen");
+    ::close(Fd);
+    return L;
+  }
+  socklen_t AddrLen = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen) != 0) {
+    Error = errnoString("getsockname");
+    ::close(Fd);
+    return L;
+  }
+  L.Fd = Fd;
+  L.BoundPort = ntohs(Addr.sin_port);
+  return L;
+}
+
+Socket ListenSocket::accept(int TimeoutMs) {
+  pollfd P;
+  P.fd = Fd;
+  P.events = POLLIN;
+  P.revents = 0;
+  for (;;) {
+    int N = ::poll(&P, 1, TimeoutMs);
+    if (N == 0)
+      return Socket();
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Socket();
+    }
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client >= 0)
+      return Socket(Client);
+    if (errno != EINTR)
+      return Socket();
+  }
+}

@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal RAII wrappers over POSIX TCP sockets for the analysis server's
+/// listen mode (docs/SERVER.md). Two classes: Socket, one connected
+/// stream with poll-based readable waits and full-buffer sends; and
+/// ListenSocket, a loopback acceptor with a bounded backlog. Both are
+/// loopback-only by design — the server binds 127.0.0.1 and is not meant
+/// to face untrusted networks directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SUPPORT_SOCKET_H
+#define AFL_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace afl {
+namespace support {
+
+/// One connected TCP stream. Move-only; the destructor closes the fd.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  void close();
+
+  /// Outcome of waitReadable().
+  enum class Wait { Ready, Timeout, Error };
+
+  /// Blocks until the socket has readable bytes (or EOF), for at most
+  /// \p TimeoutMs milliseconds (negative blocks indefinitely). EINTR
+  /// restarts the wait.
+  Wait waitReadable(int TimeoutMs);
+
+  /// Reads up to \p Len bytes. Returns the byte count, 0 on orderly EOF,
+  /// -1 on error. EINTR restarts the read.
+  long recvSome(char *Buf, size_t Len);
+
+  /// Writes all of \p Data, retrying partial writes and EINTR; sends with
+  /// MSG_NOSIGNAL so a closed peer yields EPIPE instead of killing the
+  /// process. Returns false once any byte fails to send.
+  bool sendAll(std::string_view Data);
+
+  /// Connects to 127.0.0.1:\p Port. On failure returns an invalid Socket
+  /// and describes the error in \p Error.
+  static Socket connectTo(uint16_t Port, std::string &Error);
+
+private:
+  int Fd = -1;
+};
+
+/// A loopback TCP acceptor. Binds 127.0.0.1:\p Port (port 0 picks an
+/// ephemeral port, readable via port()) with a bounded listen backlog.
+class ListenSocket {
+public:
+  ListenSocket() = default;
+  ~ListenSocket() { close(); }
+
+  ListenSocket(ListenSocket &&O) noexcept : Fd(O.Fd), BoundPort(O.BoundPort) {
+    O.Fd = -1;
+    O.BoundPort = 0;
+  }
+  ListenSocket &operator=(ListenSocket &&O) noexcept;
+  ListenSocket(const ListenSocket &) = delete;
+  ListenSocket &operator=(const ListenSocket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  uint16_t port() const { return BoundPort; }
+  void close();
+
+  /// Binds and listens on 127.0.0.1:\p Port with SO_REUSEADDR and a
+  /// backlog of \p Backlog pending connections. On failure returns an
+  /// invalid ListenSocket and describes the error in \p Error.
+  static ListenSocket listenOn(uint16_t Port, int Backlog, std::string &Error);
+
+  /// Waits up to \p TimeoutMs milliseconds for a pending connection and
+  /// accepts it. Returns an invalid Socket on timeout or error (the two
+  /// are indistinguishable on purpose: callers re-poll either way).
+  Socket accept(int TimeoutMs);
+
+private:
+  int Fd = -1;
+  uint16_t BoundPort = 0;
+};
+
+} // namespace support
+} // namespace afl
+
+#endif // AFL_SUPPORT_SOCKET_H

@@ -50,6 +50,7 @@ ThreadPool::ThreadPool(unsigned Threads) {
   Workers.reserve(Threads);
   for (unsigned I = 0; I < Threads; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+  NumWorkers.store(Threads, std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
@@ -122,6 +123,23 @@ ThreadPool::parallelFor(size_t Items, unsigned MaxWorkers,
   Stats.RanByWorkers = B->WorkerRan.load(std::memory_order_relaxed);
   Stats.WorkersEngaged = B->Engaged.load(std::memory_order_relaxed);
   return Stats;
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Queue.emplace_back(std::move(Task));
+  }
+  QueueCV.notify_one();
+}
+
+void ThreadPool::ensureWorkers(unsigned Target) {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  while (Workers.size() < Target) {
+    Workers.emplace_back([this] { workerLoop(); });
+    NumWorkers.store(static_cast<unsigned>(Workers.size()),
+                     std::memory_order_relaxed);
+  }
 }
 
 unsigned ThreadPool::hardwareThreads() {

@@ -29,6 +29,7 @@
 #ifndef AFL_SUPPORT_THREADPOOL_H
 #define AFL_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -64,7 +65,9 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+  unsigned numThreads() const {
+    return NumWorkers.load(std::memory_order_relaxed);
+  }
 
   /// Runs \p Fn(I) for every I in [0, Items) with at most \p MaxWorkers
   /// concurrent executors (the caller plus up to MaxWorkers - 1 pool
@@ -73,6 +76,19 @@ public:
   /// call parallelFor on the same pool.
   RunStats parallelFor(size_t Items, unsigned MaxWorkers,
                        const std::function<void(size_t)> &Fn);
+
+  /// Enqueues one detached task. Unlike parallelFor, nobody waits on it
+  /// and the submitting thread never runs it inline — a task that blocks
+  /// (a connection handler polling its socket) occupies one worker and
+  /// nothing else. Callers owning long-lived tasks must ensureWorkers()
+  /// first: the global pool has hardware_concurrency() - 1 workers, which
+  /// is zero on a single-core host, and submit() never runs tasks itself.
+  void submit(std::function<void()> Task);
+
+  /// Grows the pool to at least \p Target workers (never shrinks).
+  /// Thread-safe; used by the socket transport to reserve one worker per
+  /// concurrent connection on top of the compute workers.
+  void ensureWorkers(unsigned Target);
 
   /// The process-wide shared pool, lazily created with
   /// hardware_concurrency() - 1 workers (the calling thread is the
@@ -87,7 +103,8 @@ private:
   static void drain(Batch &B, bool IsCaller);
   void workerLoop();
 
-  std::vector<std::thread> Workers;
+  std::vector<std::thread> Workers; ///< Guarded by QueueMutex.
+  std::atomic<unsigned> NumWorkers{0};
   std::mutex QueueMutex;
   std::condition_variable QueueCV;
   std::deque<std::function<void()>> Queue;

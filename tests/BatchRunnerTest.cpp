@@ -125,25 +125,58 @@ TEST(CollectBatchItems, DanglingSymlinkBecomesFailedItem) {
   EXPECT_EQ(B.Items[1].ResultText, "3");
 }
 
-TEST(CollectBatchItems, UnreadableSubdirBecomesFailedItem) {
+TEST(CollectBatchItems, UnreadableInputBecomesFailedItem) {
+  // Unreadable-by-construction: a `.afl` entry that resolves to a
+  // directory can never be read as a program, on any host — including
+  // root CI containers, where chmod-000 permission denials do not fire.
   ScopedTempDir Tmp;
   Tmp.write("good.afl", "1 + 2");
-  Tmp.write("locked/hidden.afl", "2 + 2");
-  ASSERT_EQ(::chmod((Tmp.Path / "locked").c_str(), 0000), 0);
-  // Root ignores permission bits; the denial this test needs never
-  // happens then, so probe first.
-  std::error_code Probe;
-  fs::directory_iterator It(Tmp.Path / "locked", Probe);
-  if (!Probe)
-    GTEST_SKIP() << "directory permissions not enforced (running as root)";
+  fs::create_directories(Tmp.Path / "target-dir");
+  std::error_code EC;
+  fs::create_directory_symlink(Tmp.Path / "target-dir",
+                               Tmp.Path / "trap.afl", EC);
+  ASSERT_FALSE(EC) << EC.message();
   std::string Error;
   std::vector<driver::BatchItem> Work = collectSorted(Tmp.Path, Error);
   ASSERT_EQ(Work.size(), 2u);
   EXPECT_EQ(Work[0].Name, "good.afl");
   EXPECT_TRUE(Work[0].LoadError.empty());
-  EXPECT_EQ(Work[1].Name, "locked");
-  EXPECT_NE(Work[1].LoadError.find("cannot read directory"),
-            std::string::npos);
+  EXPECT_EQ(Work[1].Name, "trap.afl");
+  EXPECT_NE(Work[1].LoadError.find("not a regular file"), std::string::npos);
+
+  // The fault stays isolated: the failed item flows through runBatch as
+  // a failed row while the sibling still runs.
+  driver::BatchResult B =
+      driver::runBatch(Work, driver::PipelineOptions(), 2);
+  EXPECT_EQ(B.NumOk, 1u);
+  EXPECT_EQ(B.NumFailed, 1u);
+  EXPECT_EQ(B.Items[0].ResultText, "3");
+}
+
+TEST(CollectBatchItems, PermissionDeniedSubdirBecomesFailedItem) {
+  // The classic chmod-000 denial, kept for hosts that do enforce it; on
+  // root containers (where the probe shows no denial) the walker must
+  // instead descend cleanly and find the hidden program.
+  ScopedTempDir Tmp;
+  Tmp.write("good.afl", "1 + 2");
+  Tmp.write("locked/hidden.afl", "2 + 2");
+  ASSERT_EQ(::chmod((Tmp.Path / "locked").c_str(), 0000), 0);
+  std::error_code Probe;
+  fs::directory_iterator It(Tmp.Path / "locked", Probe);
+  std::string Error;
+  std::vector<driver::BatchItem> Work = collectSorted(Tmp.Path, Error);
+  ASSERT_EQ(Work.size(), 2u);
+  EXPECT_EQ(Work[0].Name, "good.afl");
+  EXPECT_TRUE(Work[0].LoadError.empty());
+  if (Probe) {
+    EXPECT_EQ(Work[1].Name, "locked");
+    EXPECT_NE(Work[1].LoadError.find("cannot read directory"),
+              std::string::npos);
+  } else {
+    EXPECT_EQ(Work[1].Name, "locked/hidden.afl");
+    EXPECT_TRUE(Work[1].LoadError.empty());
+    EXPECT_EQ(Work[1].Source, "2 + 2");
+  }
 }
 
 TEST(CollectBatchItems, FaultySiblingsSurviveFullBatchRun) {
@@ -159,6 +192,11 @@ TEST(CollectBatchItems, FaultySiblingsSurviveFullBatchRun) {
   std::error_code EC;
   fs::create_symlink(Tmp.Path / "gone.afl", Tmp.Path / "dangling.afl", EC);
   ASSERT_FALSE(EC) << EC.message();
+  // An unreadable-by-construction fault that fires even as root.
+  fs::create_directories(Tmp.Path / "not-a-file");
+  fs::create_directory_symlink(Tmp.Path / "not-a-file",
+                               Tmp.Path / "trap.afl", EC);
+  ASSERT_FALSE(EC) << EC.message();
   const int Depth = 100000;
   std::string Deep(static_cast<size_t>(Depth), '(');
   Deep += "1";
@@ -170,8 +208,9 @@ TEST(CollectBatchItems, FaultySiblingsSurviveFullBatchRun) {
   driver::BatchResult B =
       driver::runBatch(Work, driver::PipelineOptions(), 2);
   ASSERT_EQ(B.Items.size(), Work.size());
-  EXPECT_GE(B.NumFailed, 2u); // dangling symlink + depth-limited parse
-  bool SawOk = false, SawDeep = false, SawDangling = false;
+  // dangling symlink + depth-limited parse + directory-shaped .afl
+  EXPECT_GE(B.NumFailed, 3u);
+  bool SawOk = false, SawDeep = false, SawDangling = false, SawTrap = false;
   for (const driver::BatchItemResult &Item : B.Items) {
     if (Item.Name == "ok.afl") {
       SawOk = true;
@@ -186,11 +225,16 @@ TEST(CollectBatchItems, FaultySiblingsSurviveFullBatchRun) {
       SawDangling = true;
       EXPECT_FALSE(Item.Ok);
       EXPECT_FALSE(Item.Error.empty());
+    } else if (Item.Name == "trap.afl") {
+      SawTrap = true;
+      EXPECT_FALSE(Item.Ok);
+      EXPECT_NE(Item.Error.find("not a regular file"), std::string::npos);
     }
   }
   EXPECT_TRUE(SawOk);
   EXPECT_TRUE(SawDeep);
   EXPECT_TRUE(SawDangling);
+  EXPECT_TRUE(SawTrap);
 }
 
 TEST(CollectBatchItems, EmptyFileIsALegitimateItem) {

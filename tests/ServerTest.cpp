@@ -16,16 +16,23 @@
 #include "constraints/ConstraintGen.h"
 #include "driver/Pipeline.h"
 #include "driver/Server.h"
+#include "driver/Session.h"
 #include "interp/Interp.h"
 #include "programs/Corpus.h"
 #include "solver/Solver.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
+#include "support/Socket.h"
 
 #include "gtest/gtest.h"
 
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <sstream>
 #include <string>
+#include <sys/socket.h>
+#include <thread>
 #include <vector>
 
 using namespace afl;
@@ -34,7 +41,7 @@ namespace {
 
 /// Parses a server response line; fails the test on malformed output (the
 /// server must always answer with well-formed JSON).
-json::Value call(driver::Server &S, const std::string &Request) {
+json::Value call(driver::Session &S, const std::string &Request) {
   std::string Response = S.handleLine(Request);
   json::Value V;
   std::string Error;
@@ -71,7 +78,7 @@ std::string jquote(const std::string &S) {
   return O;
 }
 
-json::Value openDoc(driver::Server &S, const std::string &Source,
+json::Value openDoc(driver::Session &S, const std::string &Source,
                     int64_t *DocId) {
   json::Value R = call(
       S, "{\"method\":\"open\",\"params\":{\"source\":" + jquote(Source) +
@@ -133,7 +140,7 @@ Oracle oracleFor(const std::string &Source) {
 }
 
 /// Compares the server's view of \p DocId against the oracle for \p Text.
-void expectMatchesOracle(driver::Server &S, int64_t DocId,
+void expectMatchesOracle(driver::Session &S, int64_t DocId,
                          const std::string &Text, const std::string &Where) {
   Oracle O = oracleFor(Text);
   ASSERT_TRUE(O.FrontOk) << Where << ": oracle front end failed";
@@ -164,7 +171,7 @@ void expectMatchesOracle(driver::Server &S, int64_t DocId,
 //===----------------------------------------------------------------------===//
 
 TEST(ServerProtocol, OpenQueryCloseShutdown) {
-  driver::Server S;
+  driver::Session S;
   int64_t Doc = -1;
   json::Value R = openDoc(S, "let x = 1 in x + 2 end", &Doc);
   ASSERT_TRUE(okOf(R));
@@ -196,7 +203,7 @@ TEST(ServerProtocol, OpenQueryCloseShutdown) {
 }
 
 TEST(ServerProtocol, RunQueryExecutesDocument) {
-  driver::Server S;
+  driver::Session S;
   int64_t Doc = -1;
   json::Value R = openDoc(S, "let x = (1, 2) in fst x + snd x end", &Doc);
   ASSERT_TRUE(okOf(R));
@@ -229,7 +236,7 @@ TEST(ServerProtocol, RunQueryExecutesDocument) {
 }
 
 TEST(ServerProtocol, TimingsPresentOnEveryResponse) {
-  driver::Server S;
+  driver::Session S;
   for (const char *Req :
        {"{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}",
         "garbage", "{\"method\":\"nope\"}"}) {
@@ -245,7 +252,7 @@ TEST(ServerProtocol, TimingsPresentOnEveryResponse) {
 //===----------------------------------------------------------------------===//
 
 TEST(ServerRobustness, MalformedRequests) {
-  driver::Server S;
+  driver::Session S;
   const char *Bad[] = {
       "",                                       // empty (not even JSON)
       "{",                                      // truncated object
@@ -276,7 +283,7 @@ TEST(ServerRobustness, MalformedRequests) {
 }
 
 TEST(ServerRobustness, OpenRejectsBrokenSource) {
-  driver::Server S;
+  driver::Session S;
   int64_t Doc = -1;
   // Parse error, then a type error: both fail without opening a document.
   json::Value R1 = openDoc(S, "let x = in", &Doc);
@@ -289,7 +296,7 @@ TEST(ServerRobustness, OpenRejectsBrokenSource) {
 }
 
 TEST(ServerRobustness, EditValidationAndRevert) {
-  driver::Server S;
+  driver::Session S;
   const std::string Text = "let x = 1 in x + 2 end";
   int64_t Doc = -1;
   ASSERT_TRUE(okOf(openDoc(S, Text, &Doc)));
@@ -374,7 +381,7 @@ struct TierCounts {
 /// taken into \p Tiers.
 void runEditScript(const std::string &Name, const std::string &Source,
                    int NumEdits, uint64_t Seed, TierCounts &Tiers) {
-  driver::Server S;
+  driver::Session S;
   int64_t Doc = -1;
   json::Value R = openDoc(S, Source, &Doc);
   ASSERT_TRUE(okOf(R)) << Name;
@@ -479,7 +486,7 @@ TEST(ServerDifferential, CorpusEditScripts) {
 //===----------------------------------------------------------------------===//
 
 TEST(ServerIncrementality, WarmEditDirtiesFewerContexts) {
-  driver::Server S;
+  driver::Session S;
   std::string Text = programs::appelSource(16);
   int64_t Doc = -1;
   json::Value R = openDoc(S, Text, &Doc);
@@ -573,6 +580,503 @@ TEST(JsonReader, DepthCapStopsAdversarialNesting) {
   json::Value V;
   std::string E;
   EXPECT_FALSE(json::parseJson(Deep, V, E));
+}
+
+//===----------------------------------------------------------------------===//
+// Framing: the LineSplitter shared by the stdio and socket transports.
+//===----------------------------------------------------------------------===//
+
+TEST(LineSplitter, SplitsAcrossChunksAndStripsCr) {
+  driver::LineSplitter Split(64);
+  std::string L;
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::None);
+  Split.feed("ab", 2);
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::None);
+  Split.feed("c\r\nsecond\nthi", 13);
+  ASSERT_EQ(Split.next(L), driver::LineSplitter::Item::Line);
+  EXPECT_EQ(L, "abc"); // CR stripped
+  ASSERT_EQ(Split.next(L), driver::LineSplitter::Item::Line);
+  EXPECT_EQ(L, "second");
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::None);
+  Split.feed("rd\n\r\n", 5);
+  ASSERT_EQ(Split.next(L), driver::LineSplitter::Item::Line);
+  EXPECT_EQ(L, "third");
+  // A bare CRLF is an empty line after stripping, not a CR line.
+  ASSERT_EQ(Split.next(L), driver::LineSplitter::Item::Line);
+  EXPECT_EQ(L, "");
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::None);
+}
+
+TEST(LineSplitter, FinalUnterminatedLineAtEof) {
+  driver::LineSplitter Split(64);
+  std::string L;
+  Split.feed("one\ntail", 8);
+  ASSERT_EQ(Split.next(L), driver::LineSplitter::Item::Line);
+  EXPECT_EQ(L, "one");
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::None);
+  Split.finish();
+  ASSERT_EQ(Split.next(L), driver::LineSplitter::Item::Line);
+  EXPECT_EQ(L, "tail");
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::None);
+}
+
+TEST(LineSplitter, OversizeReportedOnceAndDiscarded) {
+  driver::LineSplitter Split(8);
+  std::string L;
+  // The cap fires mid-line, before the newline even arrives...
+  Split.feed("0123456789", 10);
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::Oversize);
+  // ...and the rest of the long line is discarded without a second report.
+  Split.feed("morelongbytes", 13);
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::None);
+  Split.feed("stilllong\nok\n", 13);
+  ASSERT_EQ(Split.next(L), driver::LineSplitter::Item::Line);
+  EXPECT_EQ(L, "ok");
+  // A complete-but-too-long line arriving in one chunk reports once too.
+  Split.feed("0123456789\nfine\n", 16);
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::Oversize);
+  ASSERT_EQ(Split.next(L), driver::LineSplitter::Item::Line);
+  EXPECT_EQ(L, "fine");
+  // Exactly at the cap is not oversize.
+  Split.feed("01234567\n", 9);
+  ASSERT_EQ(Split.next(L), driver::LineSplitter::Item::Line);
+  EXPECT_EQ(L, "01234567");
+  // An unterminated oversize line at EOF stays discarded.
+  Split.feed("waytoolongtail", 14);
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::Oversize);
+  Split.finish();
+  EXPECT_EQ(Split.next(L), driver::LineSplitter::Item::None);
+}
+
+//===----------------------------------------------------------------------===//
+// The stdio transport: CRLF, request caps, and EOF handling (the PR-9
+// protocol bugfixes).
+//===----------------------------------------------------------------------===//
+
+/// Runs the stdio server over \p Input and returns the parsed response
+/// lines.
+std::vector<json::Value> runStdio(const std::string &Input,
+                                  size_t MaxRequestBytes = 1u << 20) {
+  driver::Server S;
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  EXPECT_EQ(S.run(In, Out, MaxRequestBytes), 0);
+  std::vector<json::Value> Responses;
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    json::Value V;
+    std::string Error;
+    EXPECT_TRUE(json::parseJson(Line, V, Error)) << Error << " in: " << Line;
+    Responses.push_back(std::move(V));
+  }
+  return Responses;
+}
+
+TEST(ServerStdio, CrlfRequestsAreServed) {
+  // CRLF line endings must not leak the '\r' into the JSON reader, and a
+  // bare CRLF is a blank line to skip, not a parse error.
+  std::vector<json::Value> R =
+      runStdio("{\"id\":1,\"method\":\"query\",\"params\":{\"what\":"
+               "\"metrics\"}}\r\n"
+               "\r\n"
+               "{\"id\":2,\"method\":\"shutdown\"}\r\n");
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_TRUE(okOf(R[0]));
+  EXPECT_EQ(R[0].find("id")->asInt(), 1);
+  EXPECT_TRUE(okOf(R[1]));
+  EXPECT_EQ(R[1].find("id")->asInt(), 2);
+}
+
+TEST(ServerStdio, FinalUnterminatedLineIsAnswered) {
+  std::vector<json::Value> R = runStdio(
+      "{\"id\":1,\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}");
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(okOf(R[0]));
+  EXPECT_EQ(R[0].find("id")->asInt(), 1);
+}
+
+TEST(ServerStdio, OversizedRequestGetsProtocolError) {
+  std::string Long = "{\"method\":\"open\",\"params\":{\"source\":\"" +
+                     std::string(300, 'x') + "\"}}";
+  std::vector<json::Value> R = runStdio(
+      Long + "\n{\"id\":2,\"method\":\"query\",\"params\":{\"what\":"
+             "\"metrics\"}}\n",
+      128);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_FALSE(okOf(R[0]));
+  EXPECT_NE(R[0].find("error")->asString().find("limit"), std::string::npos);
+  // The session survives: the next request is served normally, and the
+  // failed request is visible in its error counters.
+  EXPECT_TRUE(okOf(R[1]));
+  EXPECT_EQ(dig(R[1], {"result", "metrics", "errors"})->asInt(), 1);
+  EXPECT_EQ(dig(R[1], {"result", "metrics", "requests"})->asInt(), 2);
+}
+
+TEST(ServerStdio, MetricsHaveNoConnectionsObject) {
+  // The "connections" scope belongs to the socket transport only.
+  std::vector<json::Value> R = runStdio(
+      "{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}\n");
+  ASSERT_EQ(R.size(), 1u);
+  ASSERT_TRUE(okOf(R[0]));
+  EXPECT_EQ(dig(R[0], {"result", "metrics", "connections"}), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// The socket transport: concurrency, overload, timeouts, shutdown.
+//===----------------------------------------------------------------------===//
+
+/// A listening server on an ephemeral loopback port, with serve() running
+/// on its own thread.
+struct TestServer {
+  driver::Server S;
+  std::thread T;
+  bool Ok = false;
+
+  explicit TestServer(unsigned MaxConnections = 8, unsigned IdleTimeoutMs = 0,
+                      size_t MaxRequestBytes = 1u << 20) {
+    driver::ServeOptions O;
+    O.Port = 0;
+    O.MaxConnections = MaxConnections;
+    O.IdleTimeoutMs = IdleTimeoutMs;
+    O.MaxRequestBytes = MaxRequestBytes;
+    O.InstallSignalHandlers = false; // keep the test harness's handlers
+    std::string Error;
+    Ok = S.listen(O, Error);
+    EXPECT_TRUE(Ok) << Error;
+    if (Ok)
+      T = std::thread([this] { S.serve(); });
+  }
+
+  uint16_t port() const { return S.port(); }
+
+  /// Blocks until serve() returned (after an in-band shutdown request).
+  void join() {
+    if (T.joinable())
+      T.join();
+  }
+
+  ~TestServer() {
+    S.requestStop();
+    join();
+  }
+};
+
+/// A blocking line-oriented protocol client.
+struct TestClient {
+  support::Socket Sock;
+  std::string Buf;
+
+  bool connect(uint16_t Port) {
+    std::string Error;
+    Sock = support::Socket::connectTo(Port, Error);
+    return Sock.valid();
+  }
+
+  bool send(const std::string &Bytes) { return Sock.sendAll(Bytes); }
+  bool sendLine(const std::string &L) { return send(L + "\n"); }
+
+  /// Reads one '\n'-terminated response line (terminator stripped).
+  bool readLine(std::string &Out, int TimeoutMs = 60000) {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        Out = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return true;
+      }
+      if (Sock.waitReadable(TimeoutMs) != support::Socket::Wait::Ready)
+        return false;
+      char Tmp[4096];
+      long N = Sock.recvSome(Tmp, sizeof(Tmp));
+      if (N <= 0)
+        return false;
+      Buf.append(Tmp, static_cast<size_t>(N));
+    }
+  }
+
+  /// One request/response round trip; fails the test on transport errors.
+  json::Value call(const std::string &Request) {
+    EXPECT_TRUE(sendLine(Request));
+    std::string Line;
+    EXPECT_TRUE(readLine(Line)) << "no response to: " << Request;
+    json::Value V;
+    std::string Error;
+    EXPECT_TRUE(json::parseJson(Line, V, Error)) << Error << " in: " << Line;
+    return V;
+  }
+};
+
+/// Strips the non-reproducible wall-clock objects (the trailing request
+/// "timings" and any embedded run "micros") so two responses to the same
+/// request can be compared byte-for-byte.
+std::string stripTimings(const std::string &Resp) {
+  std::string Out = Resp;
+  size_t P = Out.rfind(",\"timings\":{");
+  if (P != std::string::npos)
+    Out = Out.substr(0, P) + "}";
+  for (size_t M = Out.find("\"micros\":{"); M != std::string::npos;
+       M = Out.find("\"micros\":{", M + 1)) {
+    size_t Open = M + 9; // at '{'; micros objects are flat
+    size_t Close = Out.find('}', Open);
+    if (Close == std::string::npos)
+      break;
+    Out.erase(Open + 1, Close - Open - 1);
+  }
+  return Out;
+}
+
+TEST(ServerSocket, MultiClientDifferential) {
+  // Four concurrent clients, each driving its own interleaved
+  // open/edit/query transcript in lockstep with the others. Every
+  // client's responses must be byte-identical (modulo wall-clock
+  // timings) to a fresh single-session replay of its transcript — the
+  // tentpole proof that sessions do not bleed into each other.
+  const std::string Progs[4] = {
+      "let x = 1 in x + 2 end",
+      "let f = fn a => a + 3 in f 4 end",
+      "let p = (5, 6) in fst p + snd p end",
+      "let g = fn h => h 7 in g (fn z => z + 8) end",
+  };
+  std::vector<std::vector<std::string>> Transcripts;
+  for (int C = 0; C != 4; ++C) {
+    std::vector<std::string> T;
+    T.push_back("{\"id\":1,\"method\":\"open\",\"params\":{\"source\":" +
+                jquote(Progs[C]) + "}}");
+    T.push_back("{\"id\":2,\"method\":\"query\",\"params\":{\"doc\":1,"
+                "\"what\":\"report\"}}");
+    // A literal-only edit (reuse tier) then a structural one.
+    T.push_back("{\"id\":3,\"method\":\"edit\",\"params\":{\"doc\":1,"
+                "\"start\":0,\"length\":0,\"text\":\"\"}}");
+    T.push_back("{\"id\":4,\"method\":\"query\",\"params\":{\"doc\":1,"
+                "\"what\":\"domains\"}}");
+    T.push_back("{\"id\":5,\"method\":\"query\",\"params\":{\"doc\":1,"
+                "\"what\":\"run\"}}");
+    T.push_back("{\"id\":6,\"method\":\"close\",\"params\":{\"doc\":1}}");
+    T.push_back("{\"id\":7,\"method\":\"query\",\"params\":{\"doc\":1,"
+                "\"what\":\"report\"}}"); // now an error: doc closed
+    Transcripts.push_back(std::move(T));
+  }
+
+  TestServer Srv(/*MaxConnections=*/8);
+  ASSERT_TRUE(Srv.Ok);
+
+  std::vector<std::vector<std::string>> Got(4);
+  std::vector<std::thread> Clients;
+  std::atomic<int> Failures{0};
+  for (int C = 0; C != 4; ++C) {
+    Clients.emplace_back([&, C] {
+      TestClient Cl;
+      if (!Cl.connect(Srv.port())) {
+        ++Failures;
+        return;
+      }
+      for (const std::string &Req : Transcripts[C]) {
+        if (!Cl.sendLine(Req)) {
+          ++Failures;
+          return;
+        }
+        std::string Line;
+        if (!Cl.readLine(Line)) {
+          ++Failures;
+          return;
+        }
+        Got[C].push_back(Line);
+      }
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  ASSERT_EQ(Failures.load(), 0);
+
+  for (int C = 0; C != 4; ++C) {
+    driver::Session Replay;
+    ASSERT_EQ(Got[C].size(), Transcripts[C].size()) << "client " << C;
+    for (size_t I = 0; I != Transcripts[C].size(); ++I) {
+      std::string Expect = Replay.handleLine(Transcripts[C][I]);
+      EXPECT_EQ(stripTimings(Got[C][I]), stripTimings(Expect))
+          << "client " << C << " request " << I;
+    }
+  }
+
+  const driver::ConnectionCounters &Conn = Srv.S.connections();
+  EXPECT_GE(Conn.Accepted.load(), 4u);
+  EXPECT_EQ(Conn.Rejected.load(), 0u);
+}
+
+TEST(ServerSocket, CrlfAndBlankLinesOverSocket) {
+  TestServer Srv;
+  ASSERT_TRUE(Srv.Ok);
+  TestClient Cl;
+  ASSERT_TRUE(Cl.connect(Srv.port()));
+  // A blank CRLF line produces no response; the CRLF-terminated request
+  // after it is answered normally.
+  ASSERT_TRUE(Cl.send("\r\n{\"id\":9,\"method\":\"query\",\"params\":{"
+                      "\"what\":\"metrics\"}}\r\n"));
+  std::string Line;
+  ASSERT_TRUE(Cl.readLine(Line));
+  json::Value R;
+  std::string Error;
+  ASSERT_TRUE(json::parseJson(Line, R, Error)) << Error;
+  EXPECT_TRUE(okOf(R));
+  EXPECT_EQ(R.find("id")->asInt(), 9);
+}
+
+TEST(ServerSocket, ConnectionMetricsExposed) {
+  TestServer Srv;
+  ASSERT_TRUE(Srv.Ok);
+  TestClient Cl;
+  ASSERT_TRUE(Cl.connect(Srv.port()));
+  json::Value M =
+      Cl.call("{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}");
+  ASSERT_TRUE(okOf(M));
+  const json::Value *Acc =
+      dig(M, {"result", "metrics", "connections", "accepted"});
+  const json::Value *Act =
+      dig(M, {"result", "metrics", "connections", "active"});
+  ASSERT_TRUE(Acc && Act);
+  EXPECT_GE(Acc->asInt(), 1);
+  EXPECT_GE(Act->asInt(), 1);
+  EXPECT_NE(dig(M, {"result", "metrics", "connections", "rejected"}), nullptr);
+  EXPECT_NE(dig(M, {"result", "metrics", "connections", "timed_out"}),
+            nullptr);
+}
+
+TEST(ServerSocket, OverloadRepliesAndRecovers) {
+  TestServer Srv(/*MaxConnections=*/1);
+  ASSERT_TRUE(Srv.Ok);
+
+  TestClient A;
+  ASSERT_TRUE(A.connect(Srv.port()));
+  // A full round trip guarantees the acceptor has registered A.
+  EXPECT_TRUE(okOf(
+      A.call("{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}")));
+
+  // The connection over the cap gets a one-line overload error, then EOF.
+  TestClient B;
+  ASSERT_TRUE(B.connect(Srv.port()));
+  std::string Line;
+  ASSERT_TRUE(B.readLine(Line));
+  json::Value R;
+  std::string Error;
+  ASSERT_TRUE(json::parseJson(Line, R, Error)) << Error << " in: " << Line;
+  EXPECT_FALSE(okOf(R));
+  EXPECT_NE(R.find("error")->asString().find("capacity"), std::string::npos);
+  EXPECT_FALSE(B.readLine(Line, 5000));
+  EXPECT_GE(Srv.S.connections().Rejected.load(), 1u);
+
+  // Once A leaves, a retrying client gets a slot again.
+  A.Sock.close();
+  bool Recovered = false;
+  for (int Try = 0; Try != 100 && !Recovered; ++Try) {
+    TestClient C;
+    if (!C.connect(Srv.port()))
+      break;
+    C.sendLine("{\"id\":1,\"method\":\"query\",\"params\":{\"what\":"
+               "\"metrics\"}}");
+    std::string L;
+    if (C.readLine(L) && L.find("\"ok\":true") != std::string::npos) {
+      Recovered = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(Recovered);
+}
+
+TEST(ServerSocket, IdleConnectionTimesOut) {
+  TestServer Srv(/*MaxConnections=*/4, /*IdleTimeoutMs=*/400);
+  ASSERT_TRUE(Srv.Ok);
+  TestClient Cl;
+  ASSERT_TRUE(Cl.connect(Srv.port()));
+  EXPECT_TRUE(okOf(
+      Cl.call("{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}")));
+
+  // Go idle: the server sends a final error line and closes.
+  std::string Line;
+  ASSERT_TRUE(Cl.readLine(Line, 30000));
+  json::Value R;
+  std::string Error;
+  ASSERT_TRUE(json::parseJson(Line, R, Error)) << Error << " in: " << Line;
+  EXPECT_FALSE(okOf(R));
+  EXPECT_NE(R.find("error")->asString().find("idle"), std::string::npos);
+  EXPECT_FALSE(Cl.readLine(Line, 5000)); // EOF after the timeout reply
+  EXPECT_GE(Srv.S.connections().TimedOut.load(), 1u);
+}
+
+TEST(ServerSocket, MidRequestDisconnectLeavesServerServing) {
+  TestServer Srv;
+  ASSERT_TRUE(Srv.Ok);
+  {
+    TestClient Cl;
+    ASSERT_TRUE(Cl.connect(Srv.port()));
+    // Half a request, then the client vanishes without a newline.
+    ASSERT_TRUE(Cl.send("{\"id\":1,\"method\":\"que"));
+    Cl.Sock.close();
+  }
+  // The server must shrug it off and keep serving new connections.
+  TestClient Next;
+  ASSERT_TRUE(Next.connect(Srv.port()));
+  EXPECT_TRUE(okOf(
+      Next.call("{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}")));
+}
+
+TEST(ServerSocket, HalfCloseStillAnswersFinalLine) {
+  TestServer Srv;
+  ASSERT_TRUE(Srv.Ok);
+  TestClient Cl;
+  ASSERT_TRUE(Cl.connect(Srv.port()));
+  // An unterminated request followed by a write-side shutdown: the EOF
+  // flushes the final line, which still gets a response.
+  ASSERT_TRUE(Cl.send(
+      "{\"id\":5,\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}"));
+  ::shutdown(Cl.Sock.fd(), SHUT_WR);
+  std::string Line;
+  ASSERT_TRUE(Cl.readLine(Line));
+  json::Value R;
+  std::string Error;
+  ASSERT_TRUE(json::parseJson(Line, R, Error)) << Error << " in: " << Line;
+  EXPECT_TRUE(okOf(R));
+  EXPECT_EQ(R.find("id")->asInt(), 5);
+}
+
+TEST(ServerSocket, OversizedRequestOverSocket) {
+  TestServer Srv(/*MaxConnections=*/4, /*IdleTimeoutMs=*/0,
+                 /*MaxRequestBytes=*/256);
+  ASSERT_TRUE(Srv.Ok);
+  TestClient Cl;
+  ASSERT_TRUE(Cl.connect(Srv.port()));
+  json::Value R = Cl.call("{\"method\":\"open\",\"params\":{\"source\":\"" +
+                          std::string(1000, 'x') + "\"}}");
+  EXPECT_FALSE(okOf(R));
+  EXPECT_NE(R.find("error")->asString().find("limit"), std::string::npos);
+  // The connection survives the oversized request.
+  EXPECT_TRUE(okOf(
+      Cl.call("{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}")));
+}
+
+TEST(ServerSocket, ShutdownRequestStopsServerAndDrains) {
+  TestServer Srv;
+  ASSERT_TRUE(Srv.Ok);
+  TestClient A, B;
+  ASSERT_TRUE(A.connect(Srv.port()));
+  ASSERT_TRUE(B.connect(Srv.port()));
+  EXPECT_TRUE(okOf(
+      A.call("{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}")));
+  EXPECT_TRUE(okOf(
+      B.call("{\"method\":\"query\",\"params\":{\"what\":\"metrics\"}}")));
+
+  json::Value Down = A.call("{\"id\":99,\"method\":\"shutdown\"}");
+  EXPECT_TRUE(okOf(Down));
+  Srv.join(); // serve() must return and drain every connection
+
+  // Both connections are closed and the listener is gone.
+  std::string Line;
+  EXPECT_FALSE(A.readLine(Line, 2000));
+  EXPECT_FALSE(B.readLine(Line, 2000));
+  TestClient After;
+  EXPECT_FALSE(After.connect(Srv.port()));
+  EXPECT_EQ(Srv.S.connections().Active.load(), 0u);
 }
 
 } // namespace

@@ -1,9 +1,10 @@
 // Unit tests for the support module: arena, arena pool, packed domains,
-// interner, diagnostics.
+// interner, diagnostics, JSON number ranges.
 
 #include "support/Arena.h"
 #include "support/ArenaPool.h"
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 #include "support/PackedDomains.h"
 #include "support/SourceLoc.h"
 #include "support/FlatSet.h"
@@ -504,6 +505,51 @@ TEST(SetInterner, InsertById) {
   EXPECT_EQ(I.insert(B, 2), B);
   // The memo returns the same id for the same (set, element) pair.
   EXPECT_EQ(I.insert(A, 2), B);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON number ranges: out-of-range integer literals are parse errors,
+// never silent saturation (the strtoll/ERANGE regression).
+//===----------------------------------------------------------------------===//
+
+TEST(JsonNumbers, Int64BoundsParseExactly) {
+  json::Value V;
+  std::string E;
+  ASSERT_TRUE(json::parseJson("9223372036854775807", V, E)) << E;
+  ASSERT_TRUE(V.isInt());
+  EXPECT_EQ(V.asInt(), INT64_MAX);
+  ASSERT_TRUE(json::parseJson("-9223372036854775808", V, E)) << E;
+  ASSERT_TRUE(V.isInt());
+  EXPECT_EQ(V.asInt(), INT64_MIN);
+}
+
+TEST(JsonNumbers, OutOfRangeIntegersAreParseErrors) {
+  // One past each bound, and far past: all must fail cleanly rather than
+  // saturate to INT64_MAX/MIN or lose precision as a double.
+  const char *Bad[] = {
+      "9223372036854775808",
+      "-9223372036854775809",
+      "123456789012345678901234567890",
+      "-123456789012345678901234567890",
+      "{\"id\":99999999999999999999}",
+  };
+  for (const char *Text : Bad) {
+    json::Value V;
+    std::string E;
+    EXPECT_FALSE(json::parseJson(Text, V, E)) << Text;
+    EXPECT_NE(E.find("out of range"), std::string::npos) << Text << ": " << E;
+  }
+}
+
+TEST(JsonNumbers, DoublesStillCoverTheWideRange) {
+  // Non-integral syntax keeps its double semantics, range errors and all.
+  json::Value V;
+  std::string E;
+  ASSERT_TRUE(json::parseJson("9.223372036854776e18", V, E)) << E;
+  EXPECT_FALSE(V.isInt());
+  EXPECT_GT(V.asDouble(), 9.2e18);
+  ASSERT_TRUE(json::parseJson("1e400", V, E)) << E; // strtod: +inf
+  EXPECT_FALSE(V.isInt());
 }
 
 } // namespace

@@ -7,6 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 using namespace afl;
@@ -100,7 +104,9 @@ TEST(ThreadPool, DeeplyNestedOnGlobalPool) {
 TEST(ThreadPool, GlobalPoolIsASingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
-  EXPECT_EQ(ThreadPool::global().numThreads(),
+  // Starts at hardware size; the socket transport may have grown it
+  // (ensureWorkers never shrinks), so this is a floor, not an equality.
+  EXPECT_GE(ThreadPool::global().numThreads(),
             ThreadPool::hardwareThreads() - 1);
 }
 
@@ -116,6 +122,76 @@ TEST(ThreadPool, StatsCountersAreConsistentUnderRepetition) {
     ASSERT_GE(S.WorkersEngaged, 1u);
     ASSERT_LE(S.WorkersEngaged, 3u); // caller + 2 workers
   }
+}
+
+TEST(ThreadPool, SubmitRunsDetachedTasks) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Ran{0};
+  std::mutex M;
+  std::condition_variable CV;
+  for (unsigned I = 0; I != 8; ++I)
+    Pool.submit([&] {
+      if (Ran.fetch_add(1, std::memory_order_acq_rel) + 1 == 8) {
+        std::lock_guard<std::mutex> Lock(M);
+        CV.notify_all();
+      }
+    });
+  std::unique_lock<std::mutex> Lock(M);
+  ASSERT_TRUE(CV.wait_for(Lock, std::chrono::seconds(30), [&] {
+    return Ran.load(std::memory_order_acquire) == 8;
+  }));
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  Pool.ensureWorkers(4);
+  EXPECT_EQ(Pool.numThreads(), 4u);
+  Pool.ensureWorkers(2); // never shrinks
+  EXPECT_EQ(Pool.numThreads(), 4u);
+
+  // The grown workers actually serve the queue: four tasks that must be
+  // concurrently live to finish would deadlock on a one-worker pool.
+  std::atomic<unsigned> Arrived{0};
+  std::mutex M;
+  std::condition_variable CV;
+  std::atomic<bool> Done{false};
+  for (unsigned I = 0; I != 4; ++I)
+    Pool.submit([&] {
+      Arrived.fetch_add(1, std::memory_order_acq_rel);
+      std::unique_lock<std::mutex> Lock(M);
+      CV.notify_all();
+      CV.wait_for(Lock, std::chrono::seconds(30),
+                  [&] { return Done.load(std::memory_order_acquire); });
+    });
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    ASSERT_TRUE(CV.wait_for(Lock, std::chrono::seconds(30), [&] {
+      return Arrived.load(std::memory_order_acquire) == 4;
+    }));
+    Done.store(true, std::memory_order_release);
+    CV.notify_all();
+  }
+}
+
+TEST(ThreadPool, SubmitAndParallelForShareTheQueue) {
+  // A submitted (blocking-style) task must not wedge parallelFor: the
+  // caller always participates, so the batch completes even if every
+  // worker is pinned by submitted tasks.
+  ThreadPool Pool(1);
+  std::atomic<bool> Release{false};
+  std::atomic<bool> TaskRan{false};
+  Pool.submit([&] {
+    while (!Release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    TaskRan.store(true, std::memory_order_release);
+  });
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(16, 0,
+                   [&](size_t) { Count.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(Count.load(), 16u);
+  Release.store(true, std::memory_order_release);
+  // Pool destructor joins the worker, which needs the task to finish.
 }
 
 } // namespace

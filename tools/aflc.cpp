@@ -97,6 +97,12 @@ void usage() {
       "  --metrics[=FILE]    per-stage metrics as JSON\n"
       "  --batch DIR [-j N]  run every .afl file under DIR concurrently\n"
       "  --serve             incremental analysis server on stdin/stdout\n"
+      "  --listen PORT       serve on 127.0.0.1:PORT instead (0 = ephemeral;\n"
+      "                      implies --serve; prints the bound port on stderr)\n"
+      "  --max-connections N concurrent-connection cap in listen mode "
+      "(default 8)\n"
+      "  --idle-timeout SECS close idle connections after SECS (0 = never;\n"
+      "                      default 300)\n"
       "  env: AFL_ARENA_POOL=0|1, AFL_ARENA_POOL_MAX=N  arena pooling\n");
 }
 
@@ -251,6 +257,8 @@ int main(int Argc, char **Argv) {
   bool Report = false, Stats = false, Validate = false, NoRun = false;
   bool DumpConstraints = false, Timings = false, Metrics = false;
   bool Serve = false;
+  bool Listen = false;
+  driver::ServeOptions ServeOpts;
   std::string TraceFile, MetricsFile, BatchDir;
   unsigned Threads = 0;
   std::string Source;
@@ -302,6 +310,41 @@ int main(int Argc, char **Argv) {
       NoRun = true;
     } else if (Arg == "--serve") {
       Serve = true;
+    } else if (Arg == "--listen") {
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      unsigned Port = parseJobsArg("--listen", Argv[I]);
+      if (Port > 65535) {
+        std::fprintf(stderr,
+                     "aflc: invalid value '%s' for --listen (expected a "
+                     "port in [0, 65535])\n",
+                     Argv[I]);
+        usage();
+        return 2;
+      }
+      ServeOpts.Port = static_cast<uint16_t>(Port);
+      Serve = Listen = true;
+    } else if (Arg == "--max-connections") {
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      unsigned N = parseJobsArg("--max-connections", Argv[I]);
+      if (N == 0) {
+        std::fprintf(stderr, "aflc: --max-connections must be at least 1\n");
+        usage();
+        return 2;
+      }
+      ServeOpts.MaxConnections = N;
+    } else if (Arg == "--idle-timeout") {
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      ServeOpts.IdleTimeoutMs =
+          parseJobsArg("--idle-timeout", Argv[I]) * 1000u;
     } else if (Arg == "--dump-constraints") {
       DumpConstraints = true;
     } else if (Arg.rfind("--trace=", 0) == 0) {
@@ -392,7 +435,20 @@ int main(int Argc, char **Argv) {
 
   if (Serve) {
     driver::Server S;
-    return S.run(std::cin, std::cout);
+    if (!Listen)
+      return S.run(std::cin, std::cout);
+    std::string Error;
+    if (!S.listen(ServeOpts, Error)) {
+      std::fprintf(stderr, "aflc: cannot listen on port %u: %s\n",
+                   static_cast<unsigned>(ServeOpts.Port), Error.c_str());
+      return 1;
+    }
+    // Machine-readable bind line (tools/serve_smoke.py parses it; also
+    // how humans learn the ephemeral port --listen 0 picked).
+    std::fprintf(stderr, "aflc: serving on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(S.port()));
+    std::fflush(stderr);
+    return S.serve();
   }
 
   if (!BatchDir.empty())

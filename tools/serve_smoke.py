@@ -9,12 +9,22 @@ not reproducible), and re-serialized with sorted keys. Everything else —
 tiers taken, context/shard counters, reports, solver domains, error
 messages — must match byte-for-byte.
 
+With --socket the same transcript runs over the TCP transport
+(`--serve --listen 0`): the script parses the ephemeral port from the
+server's stderr bind line, sends the requests CRLF-terminated (proving
+the framing fixes), and verifies the responses against the same golden.
+Connection counters ("connections" in metrics responses) exist only on
+the socket transport and are canonicalized away like the arena-pool
+counters.
+
 Usage:
     tools/serve_smoke.py path/to/aflc            # verify against golden
+    tools/serve_smoke.py path/to/aflc --socket   # same, over TCP
     tools/serve_smoke.py path/to/aflc --update   # regenerate the golden
 """
 
 import json
+import socket
 import subprocess
 import sys
 from pathlib import Path
@@ -44,22 +54,17 @@ def canonicalize(line):
     if isinstance(obj, dict):
         obj.pop("timings", None)
         # Arena-pool counters vary with $AFL_ARENA_POOL and retention
-        # history, so they are not part of the reproducible transcript.
+        # history, and connection counters exist only in listen mode, so
+        # neither is part of the reproducible transcript.
         metrics = obj.get("result", {}).get("metrics")
         if isinstance(metrics, dict):
             metrics.pop("memory", None)
+            metrics.pop("connections", None)
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def main():
-    args = sys.argv[1:]
-    update = "--update" in args
-    args = [a for a in args if a != "--update"]
-    if len(args) != 1:
-        sys.exit(f"usage: {sys.argv[0]} path/to/aflc [--update]")
-    aflc = args[0]
-
-    reqs = requests()
+def run_stdio(aflc, reqs):
+    """One stdio server run; returns its raw response lines."""
     proc = subprocess.run(
         [aflc, "--serve"],
         input="\n".join(reqs) + "\n",
@@ -71,7 +76,65 @@ def main():
         sys.exit(
             f"serve_smoke: server exited with {proc.returncode}\n{proc.stderr}"
         )
-    responses = [l for l in proc.stdout.splitlines() if l.strip()]
+    return [l for l in proc.stdout.splitlines() if l.strip()]
+
+
+def run_socket(aflc, reqs):
+    """One socket server run; returns its raw response lines.
+
+    Requests go out CRLF-terminated on purpose: the transport must strip
+    the '\r' before the JSON layer sees it.
+    """
+    proc = subprocess.Popen(
+        [aflc, "--serve", "--listen", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        bind = proc.stderr.readline().strip()
+        marker = "serving on 127.0.0.1:"
+        if marker not in bind:
+            proc.kill()
+            sys.exit(f"serve_smoke: unexpected bind line: {bind!r}")
+        port = int(bind.split(marker, 1)[1])
+
+        responses = []
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            s.settimeout(120)
+            rfile = s.makefile("r", encoding="utf-8", newline="\n")
+            for req in reqs:
+                s.sendall((req + "\r\n").encode("utf-8"))
+                line = rfile.readline()
+                if not line:
+                    sys.exit(
+                        f"serve_smoke: connection closed before a response "
+                        f"to: {req}"
+                    )
+                responses.append(line.rstrip("\n"))
+        # The transcript ends in a shutdown request, which must stop the
+        # whole server, not just this connection.
+        rc = proc.wait(timeout=30)
+        if rc != 0:
+            sys.exit(f"serve_smoke: server exited with {rc}")
+        return responses
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def main():
+    args = sys.argv[1:]
+    update = "--update" in args
+    use_socket = "--socket" in args
+    args = [a for a in args if a not in ("--update", "--socket")]
+    if len(args) != 1:
+        sys.exit(f"usage: {sys.argv[0]} path/to/aflc [--socket] [--update]")
+    aflc = args[0]
+
+    reqs = requests()
+    responses = run_socket(aflc, reqs) if use_socket else run_stdio(aflc, reqs)
     if len(responses) != len(reqs):
         sys.exit(
             f"serve_smoke: sent {len(reqs)} requests, "
@@ -100,7 +163,8 @@ def main():
             print(f"  got:     {g}", file=sys.stderr)
     if failures:
         sys.exit(f"serve_smoke: {failures} response(s) differ from golden")
-    print(f"serve_smoke: {len(got)} responses match golden")
+    mode = "socket" if use_socket else "stdio"
+    print(f"serve_smoke: {len(got)} responses match golden ({mode})")
 
 
 if __name__ == "__main__":

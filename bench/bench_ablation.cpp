@@ -12,6 +12,9 @@
 ///   lex-alloc   allocation only at the letregion (alloc still explicit)
 ///   lex-free    deallocation only at the letregion
 ///   lexical     both lexical = the Tofte/Talpin discipline
+///   widen-2     full, with the closure analysis context-set widening
+///               at bound 2 (aflc --closure-widen=2) — the differential
+///               precision column for the widened analysis
 ///
 /// Reported: max storable values held for each corpus program.
 ///
@@ -37,15 +40,17 @@ struct Config {
   const char *Name;
   constraints::GenOptions Options;
   solver::SolveOptions Solve;
+  closure::ClosureOptions Closure;
 };
 
 uint64_t maxValuesUnder(const regions::RegionProgram &Prog,
                         const constraints::GenOptions &Options,
-                        const solver::SolveOptions &Solve, const char *Name,
-                        const char *Program) {
+                        const solver::SolveOptions &Solve,
+                        const closure::ClosureOptions &Closure,
+                        const char *Name, const char *Program) {
   completion::AflStats Stats;
   regions::Completion C = completion::aflCompletion(Prog, &Stats, Options,
-                                                    Solve);
+                                                    Solve, Closure);
   if (!Stats.Solved) {
     std::fprintf(stderr, "%s/%s: solver fell back to conservative\n",
                  Program, Name);
@@ -62,21 +67,33 @@ uint64_t maxValuesUnder(const regions::RegionProgram &Prog,
 } // namespace
 
 int main() {
-  Config Configs[6];
-  Configs[0] = {"full", {}, {}};
-  Configs[1] = {"no-simplify", {}, {}};
+  Config Configs[7];
+  Configs[0] = {"full", {}, {}, {}};
+  Configs[1] = {"no-simplify", {}, {}, {}};
   Configs[1].Solve.Simplify = false;
-  Configs[2] = {"no-freeapp", {}, {}};
+  Configs[2] = {"no-freeapp", {}, {}, {}};
   Configs[2].Options.FreeApp = false;
-  Configs[3] = {"lex-alloc", {}, {}};
+  Configs[3] = {"lex-alloc", {}, {}, {}};
   Configs[3].Options.LateAlloc = false;
-  Configs[4] = {"lex-free", {}, {}};
+  Configs[4] = {"lex-free", {}, {}, {}};
   Configs[4].Options.EarlyFree = false;
   Configs[4].Options.FreeApp = false;
-  Configs[5] = {"lexical", {}, {}};
+  Configs[5] = {"lexical", {}, {}, {}};
   Configs[5].Options.LateAlloc = false;
   Configs[5].Options.EarlyFree = false;
   Configs[5].Options.FreeApp = false;
+  // Widened closure analysis (--closure-widen=2): how much memory the
+  // context-set merge costs at runtime relative to `full`.
+  Configs[6] = {"widen-2", {}, {}, {}};
+  Configs[6].Closure.Widening = 2;
+  // Every column is about a *deliberate* knob: pin the env-sensitive
+  // closure defaults so AFL_CLOSURE_WIDEN / AFL_CLOSURE_JOBS cannot
+  // silently change what a column measures.
+  for (Config &C : Configs) {
+    C.Closure.Jobs = 1;
+    if (&C != &Configs[6])
+      C.Closure.Widening = 0;
+  }
 
   std::printf("ablation — max storable values held\n");
   std::printf("%-16s", "program");
@@ -99,7 +116,8 @@ int main() {
     for (const Config &C : Configs)
       std::printf(" %11llu",
                   (unsigned long long)maxValuesUnder(*Prog, C.Options,
-                                                     C.Solve, C.Name,
+                                                     C.Solve, C.Closure,
+                                                     C.Name,
                                                      P.Name.c_str()));
     regions::Completion Cons = completion::conservativeCompletion(*Prog);
     interp::RunResult R = interp::run(*Prog, Cons);

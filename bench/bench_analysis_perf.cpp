@@ -139,6 +139,47 @@ void BM_ClosureAnalysis_NestedHOF(benchmark::State &State) {
 }
 BENCHMARK(BM_ClosureAnalysis_NestedHOF)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
+/// The permuted-payload family (programs::permSource): two recursive
+/// call sites permute an M-slot payload, so the exact analysis walks
+/// the slot-permutation orbit — up to M! abstract environments per
+/// node — while the widened analysis (`aflc --closure-widen`)
+/// canonically recolors the invisible color classes and collapses the
+/// orbit. The exact/widened pair is the before/after widening series
+/// of BENCH_analysis.json; `converged` drops to 0 where the exact
+/// analysis exhausts its stabilization cap.
+void closureWidenSeries(benchmark::State &State, unsigned K) {
+  std::string Src = programs::permSource(static_cast<int>(State.range(0)), 3);
+  auto F = frontend(Src);
+  auto Prog = regions::inferRegions(F->Ast, F->Ctx, F->Typed, F->Diags);
+  closure::ClosureOptions Options;
+  Options.Jobs = 1;
+  Options.Widening = K;
+  size_t Contexts = 0, Widened = 0;
+  bool Converged = false;
+  for (auto _ : State) {
+    closure::ClosureAnalysis CA(*Prog, Options);
+    Converged = CA.run();
+    benchmark::DoNotOptimize(Converged);
+    Contexts = CA.numContexts();
+    Widened = CA.stats().WidenedClosures;
+  }
+  State.counters["contexts"] = static_cast<double>(Contexts);
+  State.counters["widened"] = static_cast<double>(Widened);
+  State.counters["converged"] = Converged ? 1 : 0;
+}
+
+void BM_ClosureExact_Perm(benchmark::State &State) {
+  closureWidenSeries(State, /*K=*/0);
+}
+// M=7 exhausts the exact cap (5040 permutations x payload regions):
+// kept in the series to *show* the cliff — converged=0 there.
+BENCHMARK(BM_ClosureExact_Perm)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_ClosureWidened_Perm(benchmark::State &State) {
+  closureWidenSeries(State, /*K=*/2);
+}
+BENCHMARK(BM_ClosureWidened_Perm)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
 /// Closure-analysis stage time alone (the §3 fixpoint), over the same
 /// chainProgram(K) series used for the solve benchmarks, extended to the
 /// K=48 point of BENCH_solver.json. Tracked in BENCH_analysis.json.

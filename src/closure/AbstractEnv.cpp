@@ -114,3 +114,104 @@ RegEnvId RegEnvTable::extend(RegEnvId Id, RegionVarId Var, Color C) {
   }
   return intern(std::move(Out));
 }
+
+namespace {
+
+/// One color class of an environment, in canonical (smallest-member)
+/// order: Map is sorted by variable, so a class's first occurrence *is*
+/// its smallest member, and appending on first sight orders the classes.
+struct ColorClass {
+  Color C;
+  bool Visible = false;
+};
+
+std::vector<ColorClass> classifyEnv(const RegEnvMap &Map,
+                                    const std::set<RegionVarId> &Visible) {
+  std::vector<ColorClass> Classes;
+  for (const auto &[Var, C] : Map) {
+    ColorClass *Cls = nullptr;
+    for (ColorClass &Existing : Classes)
+      if (Existing.C == C) {
+        Cls = &Existing;
+        break;
+      }
+    if (!Cls) {
+      Classes.push_back({C, false});
+      Cls = &Classes.back();
+    }
+    Cls->Visible |= Visible.count(Var) != 0;
+  }
+  return Classes;
+}
+
+/// The recoloring map for the invisible classes, or empty when the
+/// widening does not fire (invisible-class count within the bound).
+/// Identity entries are kept so "does the map contain C" means "is C an
+/// invisible-class color".
+std::vector<std::pair<Color, Color>>
+invisibleRecoloring(const std::vector<ColorClass> &Classes, unsigned Bound) {
+  size_t Invisible = 0;
+  for (const ColorClass &Cls : Classes)
+    if (!Cls.Visible)
+      ++Invisible;
+  if (Invisible <= Bound)
+    return {};
+  // Colors the visible classes occupy; the canonical assignment walks
+  // ascending colors skipping them.
+  FlatSet<Color> Reserved;
+  for (const ColorClass &Cls : Classes)
+    if (Cls.Visible)
+      Reserved.insert(Cls.C);
+  std::vector<std::pair<Color, Color>> Recolor;
+  Recolor.reserve(Invisible);
+  Color Next = 0;
+  for (const ColorClass &Cls : Classes) {
+    if (Cls.Visible)
+      continue;
+    while (Reserved.contains(Next))
+      ++Next;
+    Recolor.push_back({Cls.C, Next++});
+  }
+  return Recolor;
+}
+
+} // namespace
+
+bool closure::widenRegEnvMap(RegEnvMap &Map,
+                             const std::set<RegionVarId> &Visible,
+                             unsigned Bound) {
+  if (Bound == 0 || Map.empty())
+    return false;
+  std::vector<std::pair<Color, Color>> Recolor =
+      invisibleRecoloring(classifyEnv(Map, Visible), Bound);
+  if (Recolor.empty())
+    return false;
+  for (auto &[Var, C] : Map)
+    for (const auto &[From, To] : Recolor)
+      if (C == From) {
+        C = To;
+        break;
+      }
+  return true;
+}
+
+std::vector<RegionVarId>
+closure::widenedRegEnvVars(const RegEnvMap &Map,
+                           const std::set<RegionVarId> &Visible,
+                           unsigned Bound) {
+  if (Bound == 0 || Map.empty())
+    return {};
+  std::vector<std::pair<Color, Color>> Recolor =
+      invisibleRecoloring(classifyEnv(Map, Visible), Bound);
+  std::vector<RegionVarId> Out;
+  if (Recolor.empty())
+    return Out;
+  // Map is sorted by variable, so collecting in order keeps Out sorted.
+  for (const auto &[Var, C] : Map)
+    for (const auto &[From, To] : Recolor)
+      if (C == From) {
+        Out.push_back(Var);
+        break;
+      }
+  return Out;
+}

@@ -82,6 +82,36 @@ private:
   std::unordered_map<uint64_t, std::vector<RegEnvId>> Index;
 };
 
+/// Context-set widening of one abstract region environment
+/// (docs/ANALYSIS_CORE.md). A *color class* is the set of variables in
+/// \p Map sharing one color; a class is *invisible* when none of its
+/// members is in \p Visible (the consumer's latent-effect regions).
+/// When more than \p Bound invisible classes exist, every invisible
+/// class is recolored canonically — classes ordered by smallest member
+/// variable, assigned the ascending colors not used by any visible
+/// class — so environments that agree on the visible colors and on the
+/// aliasing partition of the invisible variables collapse to one map.
+///
+/// Returns true iff the widening fired (\p Map was rewritten, possibly
+/// to identical content when it was already canonical). The rewrite is
+/// a per-environment color bijection: it preserves the aliasing
+/// partition and every visible color, and it is idempotent, so applying
+/// it at closure-creation time in any fixpoint mode yields the same
+/// interned environment. \p Bound = 0 means the widening is off.
+bool widenRegEnvMap(RegEnvMap &Map,
+                    const std::set<regions::RegionVarId> &Visible,
+                    unsigned Bound);
+
+/// The region variables widenRegEnvMap(\p Map, \p Visible, \p Bound)
+/// recolors, ascending; empty when the widening would not fire. Pure —
+/// downstream consumers (constraint generation's alignment check)
+/// recompute "is this closure widened" from content instead of keeping
+/// per-closure flags alive across canonicalization.
+std::vector<regions::RegionVarId>
+widenedRegEnvVars(const RegEnvMap &Map,
+                  const std::set<regions::RegionVarId> &Visible,
+                  unsigned Bound);
+
 } // namespace closure
 } // namespace afl
 

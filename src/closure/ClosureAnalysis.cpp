@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <numeric>
 
 using namespace afl;
@@ -24,6 +25,30 @@ unsigned closure::defaultClosureJobs() {
   return Cached;
 }
 
+unsigned closure::defaultClosureWiden() {
+  // Same once-per-process contract as defaultClosureJobs: CI runs whole
+  // suites under AFL_CLOSURE_WIDEN=8, and the analysis server inherits
+  // the knob through default-constructed options.
+  static unsigned Cached = [] {
+    const char *Env = std::getenv("AFL_CLOSURE_WIDEN");
+    unsigned Bound = 0;
+    if (Env && !parseCliUnsigned(Env, Bound))
+      Bound = 0;
+    return Bound;
+  }();
+  return Cached;
+}
+
+size_t ClosureOptions::stepCap(size_t NumNodes) const {
+  if (MaxSteps)
+    return MaxSteps;
+  size_t Nodes = NumNodes ? NumNodes : 1;
+  size_t Passes = MaxPasses;
+  if (Passes && Nodes > std::numeric_limits<size_t>::max() / Passes)
+    return std::numeric_limits<size_t>::max();
+  return Passes * Nodes;
+}
+
 ClosureAnalysis::ClosureAnalysis(const RegionProgram &Prog,
                                  ClosureOptions Options)
     : Prog(Prog), Options(Options) {
@@ -40,6 +65,18 @@ ClosureAnalysis::ClosureAnalysis(const RegionProgram &Prog,
   ClosCache.resize(N);
   VarSets.assign(Prog.numVars(), EmptySet);
   VarDeps.resize(Prog.numVars());
+
+  if (Options.Widening) {
+    // Latent-effect regions per closure-carrying node, resolved up front
+    // so closure creation — including from the parallel workers, which
+    // must not touch the type tables — is a flat lookup.
+    VisibleRegions.resize(N);
+    for (uint32_t I = 0; I != N; ++I) {
+      const RExpr *Node = Prog.node(I);
+      if (isa<RLambdaExpr>(Node) || isa<RLetrecExpr>(Node))
+        VisibleRegions[I] = latentOf({Node, 0});
+    }
+  }
 }
 
 AbsClosureId ClosureAnalysis::internClosure(const RExpr *Fun, RegEnvId Env) {
@@ -63,7 +100,8 @@ AbsClosureId ClosureAnalysis::closureAt(const RExpr *N, RegEnvId Env) {
 
   AbsClosureId Id;
   if (const auto *L = dyn_cast<RLambdaExpr>(N)) {
-    Id = internClosure(N, Envs.restrict(Env, L->freeRegions()));
+    Id = internClosure(N,
+                       widenClosureEnv(N, Envs.restrict(Env, L->freeRegions())));
   } else {
     const auto *RA = cast<RRegAppExpr>(N);
     const RLetrecExpr *Callee = Prog.varInfo(RA->fn()).Letrec;
@@ -72,7 +110,7 @@ AbsClosureId ClosureAnalysis::closureAt(const RExpr *N, RegEnvId Env) {
     for (size_t I = 0; I != Callee->formals().size(); ++I)
       ClosEnv = Envs.extend(ClosEnv, Callee->formals()[I],
                             Envs.colorOf(Env, RA->actuals()[I]));
-    Id = internClosure(Callee, ClosEnv);
+    Id = internClosure(Callee, widenClosureEnv(Callee, ClosEnv));
   }
   // The cache may have rehomed during interning-driven recursion; re-find
   // the insertion point.
@@ -134,6 +172,44 @@ std::set<RegionVarId> ClosureAnalysis::latentOf(const AbsClosure &C) const {
   EffectSet Probe;
   Probe.EffectVars.insert(Prog.Types.arrowEffect(Arrow));
   return Prog.Types.regionsOf(Probe);
+}
+
+RegEnvId ClosureAnalysis::widenClosureEnv(const RExpr *Fun, RegEnvId Env) {
+  if (!Options.Widening)
+    return Env;
+  RegEnvMap Map = Envs.get(Env);
+  if (!widenRegEnvMap(Map, VisibleRegions[Fun->id()], Options.Widening))
+    return Env;
+  return Envs.intern(std::move(Map));
+}
+
+bool ClosureAnalysis::isWidened(const AbsClosure &C) const {
+  if (!Options.Widening)
+    return false;
+  return !widenedRegEnvVars(Envs.get(C.Env), VisibleRegions[C.Fun->id()],
+                            Options.Widening)
+              .empty();
+}
+
+std::vector<RegionVarId>
+ClosureAnalysis::widenedVars(const AbsClosure &C) const {
+  if (!Options.Widening)
+    return {};
+  return widenedRegEnvVars(Envs.get(C.Env), VisibleRegions[C.Fun->id()],
+                           Options.Widening);
+}
+
+void ClosureAnalysis::recordWideningStats() {
+  Stats.WideningBound = Options.Widening;
+  if (!Options.Widening)
+    return;
+  for (const AbsClosure &C : Closures) {
+    size_t Vars = widenedVars(C).size();
+    if (Vars) {
+      ++Stats.WidenedClosures;
+      Stats.WidenedVars += Vars;
+    }
+  }
 }
 
 uint32_t ClosureAnalysis::ensureCtx(const RExpr *N, RegEnvId Incoming) {
@@ -303,10 +379,7 @@ void ClosureAnalysis::process(uint32_t C) {
 
 bool ClosureAnalysis::runWorklist() {
   ensureCtx(Prog.Root, RootEnv);
-  size_t Cap = Options.MaxSteps
-                   ? Options.MaxSteps
-                   : static_cast<size_t>(Options.MaxPasses) *
-                         std::max<uint32_t>(1, Prog.numNodes());
+  size_t Cap = Options.stepCap(Prog.numNodes());
   while (QHead != Queue.size()) {
     if (Stats.ProcessedContexts >= Cap) {
       Error = "closure analysis failed to stabilize within " +
@@ -516,9 +589,11 @@ bool ClosureAnalysis::runIncremental(const ClosureAnalysis &Prev,
 
   // The seed rewrites the private tables wholesale; it only makes sense
   // on a freshly constructed analysis, in worklist mode, from a
-  // converged previous revision.
+  // converged previous revision. A widening-bound mismatch would seed
+  // environments widened under a different merge relation than the
+  // re-run applies; the caller falls back to a fresh run instead.
   if (!Options.UseWorklist || !Prev.converged() || !Ctxs.empty() ||
-      !Closures.empty())
+      !Closures.empty() || Options.Widening != Prev.Options.Widening)
     return false;
   if (Seed.NodeMap.size() != Prev.Prog.numNodes() ||
       Seed.VarMap.size() != Prev.Prog.numVars() ||
@@ -654,6 +729,8 @@ bool ClosureAnalysis::runIncremental(const ClosureAnalysis &Prev,
   Stats.NumClosures = Closures.size();
   Stats.NumEnvs = Envs.size();
   Stats.InternedSets = ValueSets.size();
+  if (Ok)
+    recordWideningStats();
   return Ok;
 }
 
@@ -676,5 +753,7 @@ bool ClosureAnalysis::run() {
   Stats.NumClosures = Closures.size();
   Stats.NumEnvs = Envs.size();
   Stats.InternedSets = ValueSets.size();
+  if (Ok)
+    recordWideningStats();
   return Ok;
 }

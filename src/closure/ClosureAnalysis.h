@@ -60,6 +60,13 @@ struct AbsClosure {
 /// in parallel-closure mode without touching call sites (CI does this).
 unsigned defaultClosureJobs();
 
+/// Default for ClosureOptions::Widening: the AFL_CLOSURE_WIDEN
+/// environment variable if set to a valid non-negative integer,
+/// otherwise 0 (widening off, exact analysis). Same process-level-mode
+/// contract as defaultClosureJobs — the server and every library call
+/// site pick it up without plumbing.
+unsigned defaultClosureWiden();
+
 /// Fixpoint configuration.
 struct ClosureOptions {
   /// Dependency-tracked worklist (production) vs. the whole-program
@@ -80,6 +87,20 @@ struct ClosureOptions {
   /// the calling thread — partitioning overhead only pays off on wide
   /// frontiers.
   size_t ParallelMinFrontier = 16;
+  /// Context-set widening bound K (docs/ANALYSIS_CORE.md): when a
+  /// closure environment carries more than K color classes invisible to
+  /// the consumer (no member region variable in the closure's latent
+  /// effect), those classes are canonically recolored at closure
+  /// creation, merging environments that agree on the visible colors
+  /// and the invisible aliasing partition. 0 = off (exact analysis).
+  /// `aflc --closure-widen[=K]`, default from $AFL_CLOSURE_WIDEN.
+  unsigned Widening = defaultClosureWiden();
+
+  /// The stabilization cap every fixpoint mode enforces: MaxSteps when
+  /// set, otherwise MaxPasses * max(NumNodes, 1), saturating instead of
+  /// overflowing. Shared so the worklist, restart, and parallel engines
+  /// cannot drift apart in how they derive it.
+  size_t stepCap(size_t NumNodes) const;
 };
 
 /// Translation maps from a previous program revision into the current
@@ -144,6 +165,17 @@ struct ClosureStats {
   /// Wall time spent inside parallel rounds (partition + dispatch +
   /// commit), for the `closure:` --timings line and --metrics.
   double ParallelSeconds = 0.0;
+
+  // Widening counters (all 0 when ClosureOptions::Widening == 0).
+  /// The bound K the analysis ran with.
+  unsigned WideningBound = 0;
+  /// Closures whose environment the widening recolored. Computed
+  /// post-fixpoint as a pure function of the final tables, so the value
+  /// is identical across the three fixpoint modes (a live counter would
+  /// differ with parallel speculation).
+  size_t WidenedClosures = 0;
+  /// Environment entries (region variables) recolored across those.
+  size_t WidenedVars = 0;
 };
 
 /// Runs the analysis over a finalized region program and exposes the
@@ -223,6 +255,17 @@ public:
   /// closure's own frame: formal names for letrec closures).
   std::set<regions::RegionVarId> latentOf(const AbsClosure &C) const;
 
+  /// True iff the widening recolored \p C's environment. Recomputed from
+  /// (function, environment, bound) — widened-ness is content, not
+  /// per-closure state, so it survives canonicalization and incremental
+  /// seeding for free. Always false when Widening == 0.
+  bool isWidened(const AbsClosure &C) const;
+  /// The recolored (invisible-class) region variables of \p C's
+  /// environment, ascending; empty when the widening did not fire.
+  /// Constraint generation treats these as unaligned across call
+  /// boundaries (docs/ANALYSIS_CORE.md, widening soundness).
+  std::vector<regions::RegionVarId> widenedVars(const AbsClosure &C) const;
+
   size_t numContexts() const { return Ctxs.size(); }
   size_t numClosures() const { return Closures.size(); }
 
@@ -234,6 +277,13 @@ private:
   /// The closure a Lambda / RegApp node denotes under context env \p Env
   /// (memoized: the mapping is immutable).
   AbsClosureId closureAt(const regions::RExpr *N, RegEnvId Env);
+  /// Applies the context-set widening to a freshly built closure
+  /// environment for consumer \p Fun; identity when Widening == 0 or
+  /// the invisible-class count is within the bound.
+  RegEnvId widenClosureEnv(const regions::RExpr *Fun, RegEnvId Env);
+  /// Post-fixpoint: fills the widening counters by re-deriving
+  /// widened-ness of every final closure (deterministic across modes).
+  void recordWideningStats();
 
   /// Registers context (N, contextEnv(N, Incoming)); returns its CtxId.
   /// New contexts enter the worklist (worklist mode) or set Changed
@@ -280,6 +330,12 @@ private:
   ClosureOptions Options;
   RegEnvTable Envs;
   RegEnvId RootEnv = 0;
+
+  /// Per-node latent-effect region sets for Lambda/Letrec nodes (empty
+  /// sets elsewhere), precomputed in the constructor when Widening > 0:
+  /// the widening consults them on every closure creation, including
+  /// from parallel workers, which must not touch the type tables.
+  std::vector<std::set<regions::RegionVarId>> VisibleRegions;
 
   std::vector<AbsClosure> Closures;
   /// (function node id << 32 | env id) → closure id. Exact packed key.

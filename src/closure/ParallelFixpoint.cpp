@@ -243,6 +243,20 @@ private:
       return KBase + It->second;
     }
 
+    /// Context-set widening on an overlay env ref — the worker-side
+    /// twin of ClosureAnalysis::widenClosureEnv. widenRegEnvMap is a
+    /// pure function of content, so a widened overlay env translates to
+    /// exactly the environment the sequential funnel would intern.
+    uint32_t widenEnvW(const RExpr *Fun, uint32_t E) {
+      unsigned Bound = G.Options.Widening;
+      if (!Bound)
+        return E;
+      RegEnvMap Map = envContent(E);
+      if (!widenRegEnvMap(Map, G.VisibleRegions[Fun->id()], Bound))
+        return E;
+      return findOrAddEnv(std::move(Map));
+    }
+
     uint32_t closureAtW(const RExpr *N, uint32_t Env) {
       if (Env < EBase) {
         const auto &Cache = G.ClosCache[N->id()];
@@ -253,7 +267,7 @@ private:
           return It->second;
       }
       if (const auto *L = dyn_cast<RLambdaExpr>(N))
-        return internClosW(N, restrictEnv(Env, L->freeRegions()));
+        return internClosW(N, widenEnvW(N, restrictEnv(Env, L->freeRegions())));
       const auto *RA = cast<RRegAppExpr>(N);
       const RLetrecExpr *Callee = G.Prog.varInfo(RA->fn()).Letrec;
       assert(Callee && "region application of non-letrec");
@@ -261,7 +275,7 @@ private:
       for (size_t I = 0; I != Callee->formals().size(); ++I)
         ClosEnv = extendEnv(ClosEnv, Callee->formals()[I],
                             colorOf(Env, RA->actuals()[I]));
-      return internClosW(Callee, ClosEnv);
+      return internClosW(Callee, widenEnvW(Callee, ClosEnv));
     }
 
     std::pair<const RExpr *, uint32_t> closRefOf(uint32_t Id) const {
@@ -580,10 +594,9 @@ bool ParallelEngine::run() {
   using Clock = std::chrono::steady_clock;
   A.Stats.ThreadsUsed = Jobs;
   A.ensureCtx(A.Prog.Root, A.RootEnv);
-  Cap = A.Options.MaxSteps
-            ? A.Options.MaxSteps
-            : static_cast<size_t>(A.Options.MaxPasses) *
-                  std::max<uint32_t>(1, A.Prog.numNodes());
+  // Shared with runWorklist — ClosureOptions::stepCap is the single
+  // overflow-checked derivation, so the two modes cannot drift.
+  Cap = A.Options.stepCap(A.Prog.numNodes());
 
   std::vector<uint32_t> Frontier;
   std::vector<std::unique_ptr<Worker>> Workers;

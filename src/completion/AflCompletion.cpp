@@ -87,6 +87,7 @@ Completion completion::aflCompletion(const RegionProgram &Prog,
     Stats->NumBoolVars = Gen.Sys.numBoolVars();
     Stats->NumConstraints = Gen.Sys.numConstraints();
     Stats->NumPinnedCalls = Gen.NumPinnedCalls;
+    Stats->NumWidenedPinned = Gen.NumWidenedPinned;
     Stats->SolverPropagations = Sol.Propagations;
     Stats->SolverChoices = Sol.Choices;
     Stats->SolverBacktracks = Sol.Backtracks;

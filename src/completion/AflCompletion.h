@@ -33,6 +33,9 @@ struct AflStats {
   size_t NumBoolVars = 0;
   size_t NumConstraints = 0;
   size_t NumPinnedCalls = 0;
+  /// Calls pinned specifically because the shared region was widened
+  /// (subset of NumPinnedCalls; 0 when widening is off).
+  size_t NumWidenedPinned = 0;
   uint64_t SolverPropagations = 0;
   uint64_t SolverChoices = 0;
   uint64_t SolverBacktracks = 0;

@@ -364,13 +364,26 @@ private:
       // what region polymorphism does, and their colors are caller colors
       // of the actuals by construction. Closures created in this caller's
       // lineage satisfy the check; closures that arrived through merged
-      // flows (the escape pool, merged variable sets) may not.
+      // flows (the escape pool, merged variable sets) may not. A shared
+      // region in the closure's *widened* classes is never consistent:
+      // its color is a canonical merge representative, so equality with
+      // the caller's color does not certify agreement in every merged
+      // pre-image environment.
       bool Aligned = true;
+      bool WidenedMisalign = false;
       for (const auto &[Var, C] : CA.envs().get(Cl.Env)) {
         if (Callee.Formals.contains(Var))
           continue;
-        if (CA.envs().maps(Env, Var) &&
-            CA.envs().colorOf(Env, Var) != C) {
+        if (!CA.envs().maps(Env, Var))
+          continue;
+        if (!Callee.Widened.empty() &&
+            std::binary_search(Callee.Widened.begin(), Callee.Widened.end(),
+                               Var)) {
+          Aligned = false;
+          WidenedMisalign = true;
+          break;
+        }
+        if (CA.envs().colorOf(Env, Var) != C) {
           Aligned = false;
           break;
         }
@@ -395,6 +408,8 @@ private:
         // caller side, so the obligation reaches the caller's own
         // allocation chain regardless of color numbering.
         ++Out.NumPinnedCalls;
+        if (WidenedMisalign)
+          ++Out.NumWidenedPinned;
         for (regions::RegionVarId V : CalleeLatent) {
           if (CA.envs().maps(Env, V)) {
             Color C = CA.envs().colorOf(Env, V);
@@ -447,6 +462,10 @@ private:
     /// Region formals of a letrec closure (excluded from the alignment
     /// check); empty for lambdas.
     FlatSet<regions::RegionVarId> Formals;
+    /// Recolored environment variables under context-set widening
+    /// (sorted; empty when widening is off or did not fire for this
+    /// closure) — sharing one with the caller forces the pinned path.
+    std::vector<regions::RegionVarId> Widened;
     bool Cached = false;
   };
 
@@ -460,6 +479,7 @@ private:
       if (const auto *Callee = dyn_cast<RLetrecExpr>(Cl.Fun))
         for (regions::RegionVarId F : Callee->formals())
           Info.Formals.insert(F);
+      Info.Widened = CA.widenedVars(Cl);
       Info.Cached = true;
     }
     return Info;

@@ -90,6 +90,13 @@ struct GenResult {
   /// Number of application edges where caller/callee effect colors did not
   /// align (handled by conservative pinning; see DESIGN.md limitations).
   size_t NumPinnedCalls = 0;
+  /// Subset of NumPinnedCalls pinned because a shared free region sits in
+  /// the callee's widened (canonically recolored) environment classes —
+  /// its color no longer certifies caller/callee agreement, so the edge
+  /// takes the conservative path. The widening precision harness reads
+  /// this as the constraint-level cost of the merge
+  /// (docs/ANALYSIS_CORE.md, widening soundness).
+  size_t NumWidenedPinned = 0;
   /// Sharded-emission counters (shards are finalized eagerly by
   /// generateConstraints so the solver never pays component discovery).
   ShardingStats Sharding;

@@ -21,6 +21,14 @@ void accumulateAnalysis(completion::AflStats &Agg,
   Agg.NumBoolVars += S.NumBoolVars;
   Agg.NumConstraints += S.NumConstraints;
   Agg.NumPinnedCalls += S.NumPinnedCalls;
+  Agg.NumWidenedPinned += S.NumWidenedPinned;
+  // The widening sub-scope is gated on a nonzero bound, so carry it
+  // into the aggregate (max, like simplify's `threads`) or a widened
+  // batch would report no widening totals at all.
+  Agg.Closure.WideningBound =
+      std::max(Agg.Closure.WideningBound, S.Closure.WideningBound);
+  Agg.Closure.WidenedClosures += S.Closure.WidenedClosures;
+  Agg.Closure.WidenedVars += S.Closure.WidenedVars;
   Agg.SolverPropagations += S.SolverPropagations;
   Agg.SolverChoices += S.SolverChoices;
   Agg.SolverBacktracks += S.SolverBacktracks;

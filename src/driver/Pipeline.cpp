@@ -91,6 +91,13 @@ void driver::recordPipelineMetrics(MetricsRegistry &Reg,
         Reg.add("pool_items_stolen", Analysis.Closure.PoolItemsStolen);
         Reg.addTime("parallel_seconds", Analysis.Closure.ParallelSeconds);
       }
+      if (Analysis.Closure.WideningBound > 0) {
+        MetricScope Wide(Reg, "widening");
+        Reg.set("bound", Analysis.Closure.WideningBound);
+        Reg.set("widened_closures", Analysis.Closure.WidenedClosures);
+        Reg.set("widened_vars", Analysis.Closure.WidenedVars);
+        Reg.set("widened_pinned_calls", Analysis.NumWidenedPinned);
+      }
     }
     {
       MetricScope S(Reg, "constraint_gen");
@@ -217,6 +224,15 @@ std::string driver::formatTimings(const PipelineStats &Stats,
                   Analysis.Closure.ThreadsUsed, Analysis.Closure.ParallelRounds,
                   Analysis.Closure.InlineRounds, Analysis.Closure.Partitions,
                   Analysis.Closure.LargestPartition);
+    Out += Buf;
+  }
+  if (Analysis.Closure.WideningBound > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "closure-widen: bound %u, %zu widened closure(s), "
+                  "%zu recolored var(s), %zu pinned call(s)\n",
+                  Analysis.Closure.WideningBound,
+                  Analysis.Closure.WidenedClosures, Analysis.Closure.WidenedVars,
+                  Analysis.NumWidenedPinned);
     Out += Buf;
   }
   const constraints::ShardingStats &Shard = Analysis.Sharding;

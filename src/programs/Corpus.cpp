@@ -77,6 +77,47 @@ std::string programs::example21Source() {
          "letrec f k = k + 1 in (f i) + (f j) end end end";
 }
 
+std::string programs::permSource(int Slots, int Depth) {
+  const int M = Slots;
+  // Right-nested tuple text: (p0, (p1, ... pM-1)).
+  auto Tup = [](const std::vector<std::string> &Parts) {
+    std::string Out = Parts.back();
+    for (size_t I = Parts.size() - 1; I-- > 0;)
+      Out = "(" + Parts[I] + ", " + Out + ")";
+    return Out;
+  };
+  // Slot I of the payload carried in k's parameter q.
+  auto Slot = [M](int I) {
+    std::string E = "(snd q)";
+    for (int J = 0; J < I; ++J)
+      E = "(snd " + E + ")";
+    if (I < M - 1)
+      E = "(fst " + E + ")";
+    return E;
+  };
+  std::vector<std::string> Rot, Swp, Init;
+  for (int I = 0; I < M; ++I)
+    Rot.push_back(Slot((I + 1) % M));
+  Swp.push_back(Slot(1));
+  Swp.push_back(Slot(0));
+  for (int I = 2; I < M; ++I)
+    Swp.push_back(Slot(I));
+  std::string Out;
+  // Each payload slot starts as its own let-bound value so every slot
+  // lives in a distinct region — permutations then genuinely move
+  // regions between payload positions.
+  for (int I = 0; I < M; ++I) {
+    Out += "let w" + std::to_string(I) + " = " + std::to_string(I) + " in ";
+    Init.push_back("w" + std::to_string(I));
+  }
+  Out += "letrec k q = if fst q <= 0 then 0 else k (fst q - 1, " + Tup(Rot) +
+         ") + k (fst q - 1, " + Tup(Swp) + ") in k (" +
+         std::to_string(Depth) + ", " + Tup(Init) + ") end";
+  for (int I = 0; I < M; ++I)
+    Out += " end";
+  return Out;
+}
+
 std::vector<BenchProgram> programs::table2Corpus() {
   return {
       {"Appel(100)", appelSource(100)},

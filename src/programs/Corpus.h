@@ -51,6 +51,18 @@ std::string example11Source();
 /// values in different regions).
 std::string example21Source();
 
+/// The permuted-payload context-explosion family: a self-recursive
+/// letrec over (count, \p Slots-slot right-nested pair payload) whose
+/// two recursive call sites apply different slot permutations (rotate
+/// and swap-first-two — together they generate the full symmetric
+/// group). Every distinct slot→region arrangement reached within
+/// \p Depth recursion steps is a distinct abstract region environment
+/// for the recursive closure, so the exact closure analysis enumerates
+/// up to Slots! contexts per node while the widened analysis
+/// (ClosureOptions::Widening) collapses the orbit. This is the
+/// benchmark cliff for `aflc --closure-widen`.
+std::string permSource(int Slots, int Depth);
+
 /// One named benchmark instance.
 struct BenchProgram {
   std::string Name;

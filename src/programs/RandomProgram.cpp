@@ -226,8 +226,12 @@ private:
   /// accumulator (quicksort-helper style), and a pair-parameter call with
   /// *aliased* components (both components built from one value, so the
   /// callee's region formals alias — exercising the color discipline).
+  /// A fifth shape (Options.NestedHof) is the permuted-payload family.
   std::string genRecInt(unsigned Depth) {
-    unsigned Shape = pick(4);
+    unsigned Shape =
+        pick(Options.NestedHof && Options.HigherOrder ? 5 : 4);
+    if (Shape == 4)
+      return genPermRec(Depth);
     if (Shape == 0) {
       std::string F = freshName("f");
       std::string N = freshName("n");
@@ -267,6 +271,59 @@ private:
            " <= 0 then snd " + P + " else " + F + " (fst " + P +
            " - 1, snd " + P + ") in " + F + " (" + V + ", " + V +
            ") end end)";
+  }
+
+  /// Permuted-payload nested-HOF recursion: a letrec over
+  /// (count, M-slot right-nested pair payload) with two recursive call
+  /// sites applying different slot permutations (rotate, swap-first-two)
+  /// through a higher-order int→int helper. Each distinct slot→region
+  /// arrangement is a distinct abstract environment for the recursive
+  /// closure, so the exact analysis walks the permutation orbit; the
+  /// widened analysis collapses it. M stays at 2–3 so the exact side of
+  /// a 500-program differential sweep remains affordable.
+  std::string genPermRec(unsigned Depth) {
+    const unsigned M = 2 + pick(2);
+    std::string F = freshName("k");
+    std::string Q = freshName("q");
+    std::string Ap = freshName("ap");
+    // Right-nested tuple text: (p0, (p1, ... pM-1)).
+    auto Tup = [](const std::vector<std::string> &Parts) {
+      std::string Out = Parts.back();
+      for (size_t I = Parts.size() - 1; I-- > 0;)
+        Out = "(" + Parts[I] + ", " + Out + ")";
+      return Out;
+    };
+    // Slot I of the payload, read through the higher-order helper.
+    auto Slot = [&](unsigned I) {
+      std::string E = "(snd " + Q + ")";
+      for (unsigned J = 0; J < I; ++J)
+        E = "(snd " + E + ")";
+      if (I < M - 1)
+        E = "(fst " + E + ")";
+      return "(" + Ap + " " + E + ")";
+    };
+    std::vector<std::string> Rot, Swp, Init;
+    for (unsigned I = 0; I < M; ++I)
+      Rot.push_back(Slot((I + 1) % M));
+    Swp.push_back(Slot(1));
+    Swp.push_back(Slot(0));
+    for (unsigned I = 2; I < M; ++I)
+      Swp.push_back(Slot(I));
+    std::string Out = "(let " + Ap + " = " + genExpr(GType::FnIntInt, 1) +
+                      " in ";
+    for (unsigned I = 0; I < M; ++I) {
+      std::string W = freshName("w");
+      Out += "let " + W + " = " +
+             genExpr(GType::Int, Depth >= 2 ? Depth - 2 : 0) + " in ";
+      Init.push_back(W);
+    }
+    Out += "letrec " + F + " " + Q + " = if fst " + Q +
+           " <= 0 then 0 else " + F + " (fst " + Q + " - 1, " + Tup(Rot) +
+           ") + " + F + " (fst " + Q + " - 1, " + Tup(Swp) + ") in " + F +
+           " (" + std::to_string(1 + pick(3)) + ", " + Tup(Init) + ") end";
+    for (unsigned I = 0; I != M + 1; ++I) // close the w-slot + ap lets
+      Out += " end";
+    return Out + ")";
   }
 
   std::mt19937 Rng;

@@ -34,6 +34,15 @@ struct RandomProgramOptions {
   /// exercises the closure analysis' escape pool and the conservative
   /// pinning fallback in constraint generation.
   bool ClosureEscape = false;
+  /// Allow the permuted-payload nested-HOF recursion shape: a letrec
+  /// over (count, M-slot nested pair payload) whose recursive call
+  /// sites permute the payload slots through a higher-order helper.
+  /// Each permutation breeds a fresh abstract region environment, so
+  /// the exact closure analysis enumerates the permutation orbit —
+  /// the context-explosion family the widening bound is built for
+  /// (small M here keeps the exact side of differential sweeps cheap).
+  /// Requires HigherOrder and Recursion to fire.
+  bool NestedHof = false;
 };
 
 /// Generates a deterministic program for \p Seed.

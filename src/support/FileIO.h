@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small file-output helper shared by the CLI surfaces. Exists so the
+/// "did the write actually reach the file?" check lives in one place:
+/// an ofstream that opened fine can still fail mid-write (full device,
+/// quota, I/O error), and `Out << Text` reports that only through the
+/// stream state — which every ad-hoc call site forgot to look at.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AFL_SUPPORT_FILEIO_H
+#define AFL_SUPPORT_FILEIO_H
+
+#include <fstream>
+#include <string>
+
+namespace afl {
+
+/// Writes \p Text to \p Path, overwriting any existing file. Returns
+/// true only if the open, the write, and the flush all succeeded; on
+/// failure fills \p Err with a one-line diagnostic (no trailing
+/// newline) and returns false. The flush happens before the state
+/// check so deferred buffer errors (ENOSPC on /dev/full, a path that
+/// names a directory) are surfaced here, not silently dropped in the
+/// ofstream destructor.
+inline bool writeTextFile(const std::string &Path, const std::string &Text,
+                          std::string &Err) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << Text;
+  Out.flush();
+  if (!Out) {
+    Err = "write error on '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+} // namespace afl
+
+#endif // AFL_SUPPORT_FILEIO_H

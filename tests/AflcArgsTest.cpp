@@ -1,11 +1,20 @@
 // Tests for the strict CLI parsers behind aflc's arguments: a count
-// (-j / --solver-jobs / --closure-jobs / @builtin N) either parses as a
-// plain base-10 unsigned integer or it is a usage error — never atoi's
-// silent 0 / prefix salvage — and a backend name (--interp= /
-// $AFL_INTERP) is exactly "vm" or "tree", never a silent fallback.
+// (-j / --solver-jobs / --closure-jobs / --closure-widen / @builtin N)
+// either parses as a plain base-10 unsigned integer or it is a usage
+// error — never atoi's silent 0 / prefix salvage — and a backend name
+// (--interp= / $AFL_INTERP) is exactly "vm" or "tree", never a silent
+// fallback. Also covers writeTextFile, the helper behind --metrics=FILE:
+// an unopenable or unwritable target must be a reported failure, not a
+// success message over a file that was never written.
 
 #include "interp/Interp.h"
 #include "support/CliParse.h"
+#include "support/FileIO.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -95,6 +104,50 @@ TEST(CliParse, BackendNamesParseExactly) {
   EXPECT_EQ(B, interp::BackendKind::Vm);
   EXPECT_TRUE(interp::parseBackendName("tree", B));
   EXPECT_EQ(B, interp::BackendKind::Tree);
+}
+
+TEST(FileIO, WriteTextFileRoundTrips) {
+  namespace fs = std::filesystem;
+  fs::path Path = fs::temp_directory_path() / "aflc_fileio_test.json";
+  std::string Err;
+  EXPECT_TRUE(writeTextFile(Path.string(), "{\"ok\":1}\n", Err));
+  EXPECT_TRUE(Err.empty());
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  EXPECT_EQ(SS.str(), "{\"ok\":1}\n");
+  std::remove(Path.string().c_str());
+}
+
+TEST(FileIO, WriteTextFileReportsUnopenablePath) {
+  // A path whose parent does not exist cannot be opened.
+  std::string Err;
+  EXPECT_FALSE(writeTextFile("/nonexistent-dir-aflc/metrics.json", "{}", Err));
+  EXPECT_NE(Err.find("cannot open"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("/nonexistent-dir-aflc/metrics.json"), std::string::npos)
+      << "diagnostic must name the file";
+}
+
+TEST(FileIO, WriteTextFileReportsDirectoryTarget) {
+  // Naming a directory is the classic --metrics=DIR mistake. Depending
+  // on the libc this fails at open or only once the buffer flushes —
+  // either way it must come back as a failure with the path named.
+  namespace fs = std::filesystem;
+  std::string Dir = fs::temp_directory_path().string();
+  std::string Err;
+  EXPECT_FALSE(writeTextFile(Dir, "{}", Err));
+  EXPECT_NE(Err.find(Dir), std::string::npos) << Err;
+}
+
+TEST(FileIO, WriteTextFileReportsDeferredWriteError) {
+  // /dev/full opens fine but every flush fails with ENOSPC — exactly
+  // the deferred-error shape the old unchecked `Out << Json` dropped.
+  // Only meaningful where the device exists (Linux).
+  if (!std::filesystem::exists("/dev/full"))
+    GTEST_SKIP() << "/dev/full not available";
+  std::string Err;
+  EXPECT_FALSE(writeTextFile("/dev/full", "{\"doomed\":true}", Err));
+  EXPECT_NE(Err.find("write error"), std::string::npos) << Err;
 }
 
 TEST(CliParse, BackendNamesRejectEverythingElse) {

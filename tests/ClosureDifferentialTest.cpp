@@ -162,12 +162,14 @@ TEST(ClosureDifferential, BuiltinScaledPrograms) {
 TEST(ClosureDifferential, RandomPrograms500) {
   // 500 random programs across the generator's feature space, including
   // closure-escape shapes where discovery order differs most between the
-  // two fixpoints.
+  // two fixpoints, and the permuted-payload nested-HOF family whose
+  // environment orbits stress context discovery hardest.
   for (unsigned Seed = 0; Seed != 500; ++Seed) {
     programs::RandomProgramOptions Options;
     Options.HigherOrder = Seed % 3 != 0;
     Options.Recursion = Seed % 4 != 0;
     Options.ClosureEscape = Seed % 5 == 0;
+    Options.NestedHof = Seed % 7 == 0;
     std::string Source = programs::generateRandomProgram(Seed, Options);
     std::string Label = "seed " + std::to_string(Seed);
     expectClosureModesAgree(Source, Label.c_str());

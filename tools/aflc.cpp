@@ -28,6 +28,12 @@
 ///   --closure-jobs N     worker threads for the closure analysis
 ///                        (0 = all cores, 1 = sequential worklist;
 ///                        default: $AFL_CLOSURE_JOBS or 1)
+///   --closure-widen[=K]  k-limit closure contexts: canonically merge
+///                        abstract region environments that agree on
+///                        the consumer-visible regions once a closure
+///                        exceeds K invisible color classes (bare
+///                        flag: K=8; 0 disables; default:
+///                        $AFL_CLOSURE_WIDEN or off)
 ///   --interp=vm|tree     evaluator for the instrumented runs: bytecode
 ///                        VM (default) or the Fig. 2 tree walker
 ///                        (default: $AFL_INTERP or vm)
@@ -41,6 +47,7 @@
 ///   AFL_ARENA_POOL=0|1       disable/enable the process-wide arena pool
 ///                            (default: 1; see docs/OBSERVABILITY.md)
 ///   AFL_ARENA_POOL_MAX=N     retention cap of the arena pool (default 32)
+///   AFL_CLOSURE_WIDEN=K      default widening bound (see --closure-widen)
 ///   --serve              incremental analysis server: newline-delimited
 ///                        JSON requests on stdin, responses on stdout
 ///                        (protocol in docs/SERVER.md)
@@ -59,6 +66,7 @@
 #include "regions/Validator.h"
 #include "support/ArenaPool.h"
 #include "support/CliParse.h"
+#include "support/FileIO.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -89,6 +97,9 @@ void usage() {
       "  --no-shards         ignore emission-time shards (monolithic solve)\n"
       "  --solver-jobs N     threads for the per-component solve\n"
       "  --closure-jobs N    threads for the closure analysis\n"
+      "  --closure-widen[=K] merge closure contexts past K invisible\n"
+      "                      color classes (bare: K=8; 0 = off;\n"
+      "                      default: $AFL_CLOSURE_WIDEN or off)\n"
       "  --dump-constraints  print the generated constraint system\n"
       "  --interp=vm|tree    evaluator for the runs (default: $AFL_INTERP "
       "or vm)\n"
@@ -164,12 +175,11 @@ bool emitJson(const std::string &File, const std::string &Json) {
     std::fputs(Json.c_str(), stdout);
     return true;
   }
-  std::ofstream Out(File);
-  if (!Out) {
-    std::fprintf(stderr, "aflc: cannot write '%s'\n", File.c_str());
+  std::string Err;
+  if (!writeTextFile(File, Json, Err)) {
+    std::fprintf(stderr, "aflc: %s\n", Err.c_str());
     return false;
   }
-  Out << Json;
   std::fprintf(stderr, "aflc: wrote metrics to %s\n", File.c_str());
   return true;
 }
@@ -289,6 +299,10 @@ int main(int Argc, char **Argv) {
   if (const char *Env = std::getenv("AFL_ARENA_POOL_MAX"))
     ArenaPool::global().setMaxPooled(
         parseJobsArg("$AFL_ARENA_POOL_MAX", Env));
+  // The library reads $AFL_CLOSURE_WIDEN leniently (invalid -> widening
+  // off); here a typo is a usage error, not a silently-exact analysis.
+  if (const char *Env = std::getenv("AFL_CLOSURE_WIDEN"))
+    Closure.Widening = parseJobsArg("$AFL_CLOSURE_WIDEN", Env);
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -388,6 +402,10 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Closure.Jobs = parseJobsArg("--closure-jobs", Argv[I]);
+    } else if (Arg == "--closure-widen") {
+      Closure.Widening = 8;
+    } else if (Arg.rfind("--closure-widen=", 0) == 0) {
+      Closure.Widening = parseJobsArg("--closure-widen", Arg.c_str() + 16);
     } else if (Arg == "--closure-restart") {
       Closure.UseWorklist = false;
     } else if (Arg == "--no-freeapp") {

@@ -4,8 +4,8 @@
 Plays the checked-in request transcript `serve_session.txt` against a
 freshly spawned server and compares each response line to
 `serve_session.golden`. Responses are canonicalized before comparison:
-parsed as JSON, the per-request "timings" object dropped (wall-clock is
-not reproducible), and re-serialized with sorted keys. Everything else —
+parsed as JSON, every volatile *scope* (see VOLATILE_SCOPES) stripped
+wherever it nests, and re-serialized with sorted keys. Everything else —
 tiers taken, context/shard counters, reports, solver domains, error
 messages — must match byte-for-byte.
 
@@ -15,7 +15,7 @@ server's stderr bind line, sends the requests CRLF-terminated (proving
 the framing fixes), and verifies the responses against the same golden.
 Connection counters ("connections" in metrics responses) exist only on
 the socket transport and are canonicalized away like the arena-pool
-counters.
+counters ("memory").
 
 Usage:
     tools/serve_smoke.py path/to/aflc            # verify against golden
@@ -45,22 +45,39 @@ def requests():
     return lines
 
 
+# Scope names whose entire subtree is non-reproducible, stripped
+# wherever they appear in a response. Scope-based (not a hand-kept list
+# of leaf fields under hard-coded paths) so a new counter inside one of
+# these scopes — or the same scope emitted at a new nesting level —
+# cannot silently re-introduce run-to-run noise into the golden:
+#   timings      wall-clock, never reproducible
+#   memory       arena-pool counters; vary with $AFL_ARENA_POOL/history
+#   connections  exist only on the socket transport
+VOLATILE_SCOPES = frozenset({"timings", "memory", "connections"})
+
+
+def strip_volatile(obj):
+    """Recursively removes VOLATILE_SCOPES keys anywhere in the tree."""
+    if isinstance(obj, dict):
+        return {
+            k: strip_volatile(v)
+            for k, v in obj.items()
+            if k not in VOLATILE_SCOPES
+        }
+    if isinstance(obj, list):
+        return [strip_volatile(v) for v in obj]
+    return obj
+
+
 def canonicalize(line):
-    """Sorted-keys JSON with the non-reproducible timings object removed."""
+    """Sorted-keys JSON with the non-reproducible scopes removed."""
     try:
         obj = json.loads(line)
     except json.JSONDecodeError as e:
         sys.exit(f"serve_smoke: server emitted non-JSON line: {line!r} ({e})")
-    if isinstance(obj, dict):
-        obj.pop("timings", None)
-        # Arena-pool counters vary with $AFL_ARENA_POOL and retention
-        # history, and connection counters exist only in listen mode, so
-        # neither is part of the reproducible transcript.
-        metrics = obj.get("result", {}).get("metrics")
-        if isinstance(metrics, dict):
-            metrics.pop("memory", None)
-            metrics.pop("connections", None)
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        strip_volatile(obj), sort_keys=True, separators=(",", ":")
+    )
 
 
 def run_stdio(aflc, reqs):
